@@ -1,0 +1,279 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's Section 6 evaluation, plus ablation benches for the design knobs
+// DESIGN.md calls out (τ granularity, worker scaling, CLUSTER vs CLUSTER2).
+//
+// The benches run the same code paths as cmd/tables at a reduced scale so
+// `go test -bench=. -benchmem` finishes in minutes; run cmd/tables with
+// -scale 1 (or higher) for the full-scale numbers recorded in
+// EXPERIMENTS.md.
+package repro_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/anf"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/mpx"
+	"repro/internal/pbfs"
+)
+
+// benchCfg keeps per-iteration work around a second per dataset.
+var benchCfg = expt.Config{Scale: 0.25, Seed: 42}
+
+// Shared graphs for the ablation benches, built once.
+var (
+	benchOnce   sync.Once
+	benchMesh   *graph.Graph // long diameter
+	benchSocial *graph.Graph // short diameter
+	benchRoad   *graph.Graph
+)
+
+func benchGraphs() (*graph.Graph, *graph.Graph, *graph.Graph) {
+	benchOnce.Do(func() {
+		benchMesh = graph.Mesh(150, 150)
+		benchSocial = graph.BarabasiAlbert(30000, 8, 7)
+		benchRoad = graph.RoadLike(130, 130, 0.4, 9)
+	})
+	return benchMesh, benchSocial, benchRoad
+}
+
+// --- Table 1: dataset construction and characterization ---
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table1(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: CLUSTER vs MPX decomposition quality ---
+
+func BenchmarkTable2ClusterVsMPX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table2(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 3: diameter approximation quality at two granularities ---
+
+func BenchmarkTable3DiameterQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table3(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 4: estimator comparison, one bench per competitor so their
+// costs are individually visible (the table's whole point) ---
+
+func BenchmarkTable4Cluster(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ClusterCost(benchCfg, mesh, 128); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4BFS(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.BFSCost(benchCfg, mesh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4HADI(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.HADICost(benchCfg, mesh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4FullTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Table4(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 1: tail experiment, separate benches for the flat (CLUSTER)
+// and linear (BFS) curves at the largest tail factor ---
+
+func BenchmarkFigure1TailCluster(b *testing.B) {
+	_, social, _ := benchGraphs()
+	_, diam := social.TwoSweep(0)
+	g := graph.AppendTail(social, 0, 10*int(diam))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ClusterCost(benchCfg, g, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1TailBFS(b *testing.B) {
+	_, social, _ := benchGraphs()
+	_, diam := social.TwoSweep(0)
+	g := graph.AppendTail(social, 0, 10*int(diam))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.BFSCost(benchCfg, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure1Series(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Figure1(benchCfg, []int{0, 4, 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Section 5 validation: growth step + repeated squaring on the MR
+// simulator ---
+
+func BenchmarkMRGrowStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.MRModel(expt.Config{Scale: 0.4, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// Granularity: radius/rounds trade-off of τ (Lemma 1's ∆/τ^(1/b) behavior).
+func BenchmarkAblationClusterTau(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	for _, tau := range []int{1, 4, 16, 64} {
+		b.Run(benchName("tau", tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cl, err := core.Cluster(mesh, tau, core.Options{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(cl.MaxRadius()), "radius")
+				b.ReportMetric(float64(cl.GrowthSteps), "rounds")
+			}
+		})
+	}
+}
+
+// Worker scaling of the BSP substrate.
+func BenchmarkAblationClusterWorkers(b *testing.B) {
+	_, social, _ := benchGraphs()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Cluster(social, 16, core.Options{Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// CLUSTER vs CLUSTER2: the cost of the theory-faithful variant.
+func BenchmarkAblationCluster2(b *testing.B) {
+	_, _, road := benchGraphs()
+	b.Run("cluster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Cluster(road, 8, core.Options{Seed: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cluster2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Cluster2(road, 8, core.Options{Seed: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Raw decomposition throughput of the two decomposition algorithms.
+func BenchmarkAblationDecomposers(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	b.Run("cluster", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Cluster(mesh, 16, core.Options{Seed: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mpx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mpx.Decompose(mesh, mpx.Options{Beta: 0.3, Seed: 3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// Baseline estimator kernels in isolation.
+func BenchmarkKernelPBFS(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pbfs.Run(mesh, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelANF(b *testing.B) {
+	_, social, _ := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := anf.Run(social, anf.Options{K: 32, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Public facade end-to-end.
+func BenchmarkFacadeApproxDiameter(b *testing.B) {
+	_, _, road := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.ApproxDiameter(road, repro.DiameterOptions{
+			Options: repro.Options{Seed: 4},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFacadeKCenter(b *testing.B) {
+	_, _, road := benchGraphs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := repro.KCenter(road, 40, repro.Options{Seed: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return fmt.Sprintf("%s=%d", k, v)
+}

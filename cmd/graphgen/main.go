@@ -1,0 +1,68 @@
+// Command graphgen generates synthetic benchmark graphs and writes them as
+// text edge lists.
+//
+// Usage:
+//
+//	graphgen -kind mesh -w 1000 -h 1000 -out mesh1000.txt
+//	graphgen -kind road -w 500 -h 500 -keep 0.4 -seed 7 -out road.txt
+//	graphgen -kind ba -n 100000 -deg 8 -out social.txt
+//	graphgen -kind rmat -scale 17 -deg 8 -out rmat.txt
+//	graphgen -kind expanderpath -n 100000 -out exp.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "mesh", "mesh | road | ba | rmat | er | expanderpath")
+	w := flag.Int("w", 100, "grid width (mesh, road)")
+	h := flag.Int("h", 100, "grid height (mesh, road)")
+	n := flag.Int("n", 10000, "node count (ba, er, expanderpath)")
+	deg := flag.Int("deg", 8, "edges per node (ba, rmat) / avg degree (er)")
+	scale := flag.Int("scale", 14, "log2 node count (rmat)")
+	keep := flag.Float64("keep", 0.4, "non-tree edge keep fraction (road)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "output file (default stdout)")
+	largestCC := flag.Bool("cc", false, "keep only the largest connected component")
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *kind {
+	case "mesh":
+		g = graph.Mesh(*w, *h)
+	case "road":
+		g = graph.RoadLike(*w, *h, *keep, *seed)
+	case "ba":
+		g = graph.BarabasiAlbert(*n, *deg, *seed)
+	case "rmat":
+		g = graph.RMAT(*scale, *deg, *seed)
+	case "er":
+		g = graph.ErdosRenyi(*n, *n**deg/2, *seed)
+	case "expanderpath":
+		g = graph.ExpanderPath(*n, 0, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if *largestCC {
+		g, _ = g.LargestComponent()
+	}
+	fmt.Fprintln(os.Stderr, graph.Summarize(g))
+
+	if *out == "" {
+		if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := graph.SaveEdgeList(*out, g); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+package anf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunDiameterEstimateCloseToTruth(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":   graph.Path(60),
+		"cycle":  graph.Cycle(50),
+		"mesh":   graph.Mesh(15, 15),
+		"social": graph.BarabasiAlbert(1500, 3, 2),
+	} {
+		truth, _ := g.ExactDiameter(0)
+		res, err := Run(g, Options{K: 32, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.DiameterEstimate > truth {
+			t.Errorf("%s: ANF estimate %d exceeds true diameter %d (sketch rounds cannot overshoot)",
+				name, res.DiameterEstimate, truth)
+		}
+		// HADI is known to be accurate; with 32 registers the saturation
+		// round should be close to the truth.
+		if float64(res.DiameterEstimate) < 0.6*float64(truth) {
+			t.Errorf("%s: ANF estimate %d far below true diameter %d", name, res.DiameterEstimate, truth)
+		}
+	}
+}
+
+func TestRunRoundsThetaDiameter(t *testing.T) {
+	g := graph.Path(200)
+	res, err := Run(g, Options{K: 16, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 100 || res.Rounds > 202 {
+		t.Fatalf("rounds=%d, expected Θ(∆)=199-ish", res.Rounds)
+	}
+}
+
+func TestRunCommunicationVolumePerRound(t *testing.T) {
+	g := graph.Mesh(12, 12)
+	k := 8
+	res, err := Run(g, Options{K: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(res.Rounds) * int64(g.NumArcs()) * int64(k)
+	if res.MessagesWords != want {
+		t.Fatalf("messages=%d want rounds*arcs*K=%d", res.MessagesWords, want)
+	}
+}
+
+func TestRunNeighborhoodMonotone(t *testing.T) {
+	g := graph.Mesh(10, 10)
+	res, err := Run(g, Options{K: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Neighborhood); i++ {
+		if res.Neighborhood[i] < res.Neighborhood[i-1]-1e-9 {
+			t.Fatalf("neighborhood function decreased at %d: %v -> %v",
+				i, res.Neighborhood[i-1], res.Neighborhood[i])
+		}
+	}
+}
+
+func TestRunFinalNeighborhoodApproximatesN2(t *testing.T) {
+	// On a connected graph N(∆) = n²; the FM estimate should land within
+	// ~35% with 64 registers.
+	g := graph.Mesh(12, 12)
+	n := float64(g.NumNodes())
+	res, err := Run(g, Options{K: 64, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Neighborhood[len(res.Neighborhood)-1]
+	if math.Abs(final-n*n)/(n*n) > 0.35 {
+		t.Fatalf("final neighborhood %.0f, true %.0f", final, n*n)
+	}
+}
+
+func TestRunEffectiveDiameterAtMostEstimate(t *testing.T) {
+	g := graph.Path(80)
+	res, err := Run(g, Options{K: 32, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EffectiveDiameter > float64(res.DiameterEstimate) {
+		t.Fatalf("effective diameter %.1f exceeds saturation round %d",
+			res.EffectiveDiameter, res.DiameterEstimate)
+	}
+	if res.EffectiveDiameter <= 0 {
+		t.Fatal("effective diameter should be positive on a long path")
+	}
+}
+
+func TestRunSingleNode(t *testing.T) {
+	res, err := Run(graph.Path(1), Options{K: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiameterEstimate != 0 {
+		t.Fatalf("single node estimate %d want 0", res.DiameterEstimate)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(graph.NewBuilder(0).Build(), Options{}); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestRunMaxRoundsCap(t *testing.T) {
+	g := graph.Path(500)
+	res, err := Run(g, Options{K: 8, Seed: 8, MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 10 {
+		t.Fatalf("rounds=%d want capped at 10", res.Rounds)
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	g := graph.Mesh(12, 12)
+	a, err := Run(g, Options{K: 16, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(g, Options{K: 16, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DiameterEstimate != b.DiameterEstimate || a.Rounds != b.Rounds {
+		t.Fatal("ANF not deterministic across worker counts")
+	}
+}
+
+func TestEffectiveDiameterInterpolation(t *testing.T) {
+	// N = [10, 55, 100]: target 0.9*100=90 reached between t=1 and t=2 at
+	// 1 + (90-55)/(100-55).
+	got := effectiveDiameter([]float64{10, 55, 100}, 0.9)
+	want := 1 + 35.0/45.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("effective diameter %v want %v", got, want)
+	}
+}
+
+func TestEffectiveDiameterEdgeCases(t *testing.T) {
+	if effectiveDiameter(nil, 0.9) != 0 {
+		t.Fatal("empty series")
+	}
+	if effectiveDiameter([]float64{5}, 0.9) != 0 {
+		t.Fatal("single point should be 0")
+	}
+}

@@ -1,0 +1,191 @@
+package anf
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// HyperANF (Boldi, Rosa, Vigna — [6] in the paper) replaces ANF's
+// Flajolet–Martin bitmasks with HyperLogLog counters: 2^b byte-sized
+// registers per node, unioned by elementwise max. It is the
+// memory-efficient sibling the paper cites for tightly-coupled
+// shared-memory machines; here it runs on the same BSP substrate as ANF so
+// the two sketches can be compared like for like (accuracy per byte moved
+// per round). The round structure — and thus the Θ(∆) round count that
+// disqualifies both from long-diameter graphs — is identical.
+
+// HyperOptions configures a HyperANF run.
+type HyperOptions struct {
+	// LogRegisters is b: each node keeps 2^b single-byte registers
+	// (default 6, i.e. 64 registers ≈ 13% relative standard error).
+	LogRegisters int
+	// Seed drives the per-node hash initialization.
+	Seed uint64
+	// Workers is the BSP parallelism.
+	Workers int
+	// MaxRounds caps the iterations (0 = effectively unlimited).
+	MaxRounds int
+	// EffectivePercentile defines the effective diameter (default 0.9).
+	EffectivePercentile float64
+}
+
+// HyperResult reports a HyperANF execution.
+type HyperResult struct {
+	// DiameterEstimate is the sketch saturation round.
+	DiameterEstimate int32
+	// EffectiveDiameter interpolates where N(t) reaches the percentile.
+	EffectiveDiameter float64
+	// Neighborhood holds N(0..DiameterEstimate) estimates.
+	Neighborhood []float64
+	// Rounds is the number of BSP rounds executed.
+	Rounds int
+	// MessagesBytes is the traffic volume: 2^b bytes per arc per round.
+	MessagesBytes int64
+	// Elapsed is the wall-clock time.
+	Elapsed time.Duration
+}
+
+// HyperRun executes HyperANF on g until the registers saturate.
+func HyperRun(g *graph.Graph, opt HyperOptions) (*HyperResult, error) {
+	start := time.Now()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("anf: empty graph")
+	}
+	b := opt.LogRegisters
+	if b <= 0 {
+		b = 6
+	}
+	if b > 12 {
+		return nil, errors.New("anf: LogRegisters too large")
+	}
+	m := 1 << b
+	if opt.EffectivePercentile <= 0 || opt.EffectivePercentile > 1 {
+		opt.EffectivePercentile = 0.9
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 4*n + 4
+	}
+	workers := bsp.Workers(opt.Workers)
+	seed := rng.Mix64(opt.Seed, 0x417f_0002)
+
+	// Initialize: every node inserts itself into its own counter.
+	cur := make([]uint8, n*m)
+	next := make([]uint8, n*m)
+	bsp.ParallelFor(workers, n, func(_, lo, hi int) {
+		for u := lo; u < hi; u++ {
+			h := rng.Mix64(seed, uint64(u))
+			// Low b bits pick the register; the remaining bits provide the
+			// rank, standard HyperLogLog practice.
+			j := int(h & uint64(m-1))
+			cur[u*m+j] = uint8(trailingRank(h >> uint(b)))
+		}
+	})
+
+	alpha := hllAlpha(m)
+	estimate := func(sk []uint8) float64 {
+		total := 0.0
+		for u := 0; u < n; u++ {
+			total += hllEstimate(sk[u*m:(u+1)*m], m, alpha)
+		}
+		return total
+	}
+	neighborhood := []float64{estimate(cur)}
+
+	var messages int64
+	rounds := 0
+	saturatedAt := int32(0)
+	for rounds < maxRounds {
+		changed := int64(0)
+		bsp.ParallelFor(workers, n, func(_, lo, hi int) {
+			var local int64
+			for u := lo; u < hi; u++ {
+				base := u * m
+				copy(next[base:base+m], cur[base:base+m])
+				for _, v := range g.Neighbors(graph.NodeID(u)) {
+					nb := int(v) * m
+					for r := 0; r < m; r++ {
+						if cur[nb+r] > next[base+r] {
+							next[base+r] = cur[nb+r]
+						}
+					}
+				}
+				for r := 0; r < m; r++ {
+					if next[base+r] != cur[base+r] {
+						local++
+						break
+					}
+				}
+			}
+			if local > 0 {
+				atomic.AddInt64(&changed, local)
+			}
+		})
+		rounds++
+		messages += int64(g.NumArcs()) * int64(m)
+		cur, next = next, cur
+		if changed == 0 {
+			break
+		}
+		saturatedAt = int32(rounds)
+		neighborhood = append(neighborhood, estimate(cur))
+	}
+
+	res := &HyperResult{
+		DiameterEstimate: saturatedAt,
+		Neighborhood:     neighborhood,
+		Rounds:           rounds,
+		MessagesBytes:    messages,
+		Elapsed:          time.Since(start),
+	}
+	res.EffectiveDiameter = effectiveDiameter(neighborhood, opt.EffectivePercentile)
+	return res, nil
+}
+
+// trailingRank returns the HyperLogLog rank: one plus the number of
+// trailing zeros of w, capped so it fits a byte comfortably.
+func trailingRank(w uint64) int {
+	r := bits.TrailingZeros64(w|1<<62) + 1
+	if r > 63 {
+		r = 63
+	}
+	return r
+}
+
+func hllAlpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+func hllEstimate(regs []uint8, m int, alpha float64) float64 {
+	sum := 0.0
+	zeros := 0
+	for _, r := range regs {
+		sum += math.Pow(2, -float64(r))
+		if r == 0 {
+			zeros++
+		}
+	}
+	e := alpha * float64(m) * float64(m) / sum
+	if e <= 2.5*float64(m) && zeros > 0 {
+		// Small-range (linear counting) correction.
+		e = float64(m) * math.Log(float64(m)/float64(zeros))
+	}
+	return e
+}

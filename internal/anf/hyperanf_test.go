@@ -1,0 +1,123 @@
+package anf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHyperRunDiameterEstimate(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"path":   graph.Path(60),
+		"mesh":   graph.Mesh(14, 14),
+		"social": graph.BarabasiAlbert(1200, 3, 4),
+	} {
+		truth, _ := g.ExactDiameter(0)
+		res, err := HyperRun(g, HyperOptions{LogRegisters: 6, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.DiameterEstimate > truth {
+			t.Errorf("%s: HyperANF estimate %d exceeds true %d", name, res.DiameterEstimate, truth)
+		}
+		if float64(res.DiameterEstimate) < 0.6*float64(truth) {
+			t.Errorf("%s: HyperANF estimate %d far below true %d", name, res.DiameterEstimate, truth)
+		}
+	}
+}
+
+func TestHyperRunCountAccuracy(t *testing.T) {
+	// Final N should approximate n² within HLL error (~13% at 64 regs; be
+	// generous).
+	g := graph.Mesh(12, 12)
+	n := float64(g.NumNodes())
+	res, err := HyperRun(g, HyperOptions{LogRegisters: 7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Neighborhood[len(res.Neighborhood)-1]
+	if math.Abs(final-n*n)/(n*n) > 0.35 {
+		t.Fatalf("final neighborhood %.0f, true %.0f", final, n*n)
+	}
+}
+
+func TestHyperRunMessageVolumeSmallerThanANF(t *testing.T) {
+	// The point of HyperANF: 2^b bytes per node vs K 32-bit words. With
+	// b=6 (64 bytes) vs K=32 (128 bytes) the per-round volume halves.
+	g := graph.Mesh(10, 10)
+	fm, err := Run(g, Options{K: 32, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hll, err := HyperRun(g, HyperOptions{LogRegisters: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmBytes := fm.MessagesWords * 4
+	if hll.MessagesBytes >= fmBytes {
+		t.Fatalf("HyperANF bytes %d not below ANF bytes %d", hll.MessagesBytes, fmBytes)
+	}
+}
+
+func TestHyperRunDeterministic(t *testing.T) {
+	g := graph.Mesh(10, 10)
+	a, err := HyperRun(g, HyperOptions{LogRegisters: 5, Seed: 4, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HyperRun(g, HyperOptions{LogRegisters: 5, Seed: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DiameterEstimate != b.DiameterEstimate || a.Rounds != b.Rounds {
+		t.Fatal("HyperANF not deterministic across worker counts")
+	}
+}
+
+func TestHyperRunErrors(t *testing.T) {
+	if _, err := HyperRun(graph.NewBuilder(0).Build(), HyperOptions{}); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+	if _, err := HyperRun(graph.Path(3), HyperOptions{LogRegisters: 20}); err == nil {
+		t.Fatal("huge register count should fail")
+	}
+}
+
+func TestHyperRunMaxRoundsCap(t *testing.T) {
+	g := graph.Path(300)
+	res, err := HyperRun(g, HyperOptions{LogRegisters: 4, Seed: 5, MaxRounds: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 7 {
+		t.Fatalf("rounds=%d want 7", res.Rounds)
+	}
+}
+
+func TestHLLEstimateSmallRangeCorrection(t *testing.T) {
+	// All-zero registers: linear counting must report ~0, not alpha*m².
+	m := 64
+	regs := make([]uint8, m)
+	if e := hllEstimate(regs, m, hllAlpha(m)); e != 0 {
+		t.Fatalf("empty counter estimate %v want 0", e)
+	}
+}
+
+func TestHLLAlphaValues(t *testing.T) {
+	for _, m := range []int{16, 32, 64, 128, 1024} {
+		a := hllAlpha(m)
+		if a < 0.6 || a > 0.75 {
+			t.Fatalf("alpha(%d)=%v outside sane band", m, a)
+		}
+	}
+}
+
+func BenchmarkHyperANFMesh(b *testing.B) {
+	g := graph.Mesh(60, 60)
+	for i := 0; i < b.N; i++ {
+		if _, err := HyperRun(g, HyperOptions{LogRegisters: 6, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

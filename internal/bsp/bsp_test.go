@@ -1,0 +1,189 @@
+package bsp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// bspBFS runs a BFS using the Expander with CAS claims and returns the
+// distance array; it is the canonical usage pattern exercised here.
+func bspBFS(g *graph.Graph, src graph.NodeID, workers int) ([]int32, Stats) {
+	n := g.NumNodes()
+	dist := make([]int32, n)
+	claimed := make([]int32, n) // 0 = unclaimed, 1 = claimed
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	claimed[src] = 1
+	e := NewExpander(g, workers)
+	frontier := []graph.NodeID{src}
+	var stats Stats
+	depth := int32(0)
+	for len(frontier) > 0 {
+		if len(frontier) > stats.MaxFrontier {
+			stats.MaxFrontier = len(frontier)
+		}
+		depth++
+		next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
+			if atomic.CompareAndSwapInt32(&claimed[v], 0, 1) {
+				dist[v] = depth
+				return true
+			}
+			return false
+		})
+		stats.Rounds++
+		stats.Messages += arcs
+		frontier = next
+	}
+	return dist, stats
+}
+
+func TestExpanderBFSMatchesSequential(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Mesh(30, 30),
+		graph.BarabasiAlbert(3000, 3, 1),
+		graph.Path(500),
+		graph.Cycle(100),
+	}
+	for _, g := range graphs {
+		want := g.BFS(0)
+		for _, workers := range []int{1, 2, 4, 0} {
+			got, _ := bspBFS(g, 0, workers)
+			for u := range want {
+				if got[u] != want[u] {
+					t.Fatalf("workers=%d: dist[%d]=%d want %d", workers, u, got[u], want[u])
+				}
+			}
+		}
+	}
+}
+
+func TestExpanderRoundsEqualEccentricity(t *testing.T) {
+	g := graph.Path(100)
+	_, stats := bspBFS(g, 0, 4)
+	// ecc(0) = 99 expansion rounds plus the final round that discovers the
+	// frontier is exhausted, exactly as a BSP execution would.
+	if stats.Rounds != 100 {
+		t.Fatalf("BFS on P100 from an end should take 100 rounds, got %d", stats.Rounds)
+	}
+}
+
+func TestExpanderMessagesEqualArcsScanned(t *testing.T) {
+	// A full BFS scans every arc of a connected graph exactly once per
+	// endpoint activation: total messages = sum of degrees = 2m.
+	g := graph.Mesh(20, 20)
+	_, stats := bspBFS(g, 0, 4)
+	if stats.Messages != int64(g.NumArcs()) {
+		t.Fatalf("messages=%d want %d", stats.Messages, g.NumArcs())
+	}
+}
+
+func TestExpanderEmptyFrontier(t *testing.T) {
+	g := graph.Path(5)
+	e := NewExpander(g, 2)
+	next, arcs := e.Step(nil, func(_ int, _, _ graph.NodeID) bool { return true })
+	if next != nil || arcs != 0 {
+		t.Fatal("empty frontier should be a no-op")
+	}
+}
+
+func TestExpanderNoDuplicateClaims(t *testing.T) {
+	// Maximal contention: every leaf of a large star claims the hub in the
+	// same superstep. The frontier exceeds the sequential threshold, so the
+	// parallel path runs, and exactly one claim must win.
+	const leaves = 5000
+	g := graph.Star(leaves + 1)
+	claimed := make([]int32, g.NumNodes())
+	e := NewExpander(g, 8)
+	frontier := make([]graph.NodeID, leaves)
+	for i := range frontier {
+		frontier[i] = graph.NodeID(i + 1)
+		claimed[i+1] = 1
+	}
+	next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
+		return atomic.CompareAndSwapInt32(&claimed[v], 0, 1)
+	})
+	if len(next) != 1 || next[0] != 0 {
+		t.Fatalf("hub should be claimed exactly once, got %v", next)
+	}
+	if arcs != leaves {
+		t.Fatalf("arcs=%d want %d", arcs, leaves)
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 {
+		t.Fatal("Workers(0) must be positive")
+	}
+	if Workers(3) != 3 {
+		t.Fatal("Workers(3) != 3")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 2, Messages: 10, MaxFrontier: 5}
+	a.Add(Stats{Rounds: 3, Messages: 7, MaxFrontier: 9})
+	if a.Rounds != 5 || a.Messages != 17 || a.MaxFrontier != 9 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 5000} {
+		var sum int64
+		hit := make([]int32, n)
+		ParallelFor(4, n, func(_, lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hit[i], 1)
+				local += int64(i)
+			}
+			atomic.AddInt64(&sum, local)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if sum != want {
+			t.Fatalf("n=%d: sum=%d want %d", n, sum, want)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("index %d visited %d times", i, h)
+			}
+		}
+	}
+}
+
+func TestParallelSum(t *testing.T) {
+	got := ParallelSum(3, 10000, func(_, lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	})
+	want := int64(10000) * 9999 / 2
+	if got != want {
+		t.Fatalf("ParallelSum=%d want %d", got, want)
+	}
+}
+
+func BenchmarkExpanderBFSMesh(b *testing.B) {
+	g := graph.Mesh(300, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bspBFS(g, 0, 0)
+	}
+}
+
+func BenchmarkExpanderBFSSocial(b *testing.B) {
+	g := graph.BarabasiAlbert(50000, 8, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bspBFS(g, 0, 0)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Cluster runs the paper's Algorithm 1, CLUSTER(τ): it partitions the nodes
+// of g into disjoint connected clusters by growing clusters around batches
+// of randomly selected centers. A new batch of roughly 4τ·log n centers is
+// activated from the uncovered nodes every time the set of uncovered nodes
+// halves; previously activated clusters keep growing throughout. When fewer
+// than 8τ·log n nodes remain uncovered, they become singleton clusters.
+//
+// With high probability the result has O(τ·log²n) clusters whose maximum
+// radius is within an O(log n) factor of the best achievable with τ
+// clusters (Theorem 1, Lemma 1).
+//
+// The graph may be disconnected provided τ is at least the number of
+// components (Section 3.2); two engineering guards preserve termination on
+// any input regardless: a batch ends early if every cluster frontier is
+// exhausted, and if a batch samples no centers while no cluster can grow,
+// the lowest-id uncovered node is forcibly selected.
+func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	if tau < 1 {
+		return nil, errors.New("core: Cluster requires tau >= 1")
+	}
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	gr := newGrower(g, opt.Workers)
+
+	logn := log2n(n)
+	threshold := opt.ThresholdFactor * float64(tau) * logn
+	seed := rng.Mix64(opt.Seed, 0xc105_7e12, uint64(tau))
+
+	batches := 0
+	var centers []graph.NodeID
+	for float64(gr.uncovered()) >= threshold {
+		uncovered := gr.uncovered()
+		p := opt.CenterFactor * float64(tau) * logn / float64(uncovered)
+		batch := uint64(batches)
+		centers = gr.selectUncovered(centers[:0], func(u graph.NodeID) bool {
+			return rng.Coin(p, seed, batch, uint64(u))
+		})
+		if len(centers) == 0 && len(gr.frontier) == 0 {
+			// Guard: nothing can grow and nothing was sampled; force one
+			// center so the iteration makes progress.
+			for u := 0; u < n; u++ {
+				if gr.owner[u] == -1 {
+					centers = append(centers, graph.NodeID(u))
+					break
+				}
+			}
+		}
+		for _, u := range centers {
+			gr.addCenter(u)
+		}
+		batches++
+
+		// Grow all clusters, old and new, until at least half of the nodes
+		// that were uncovered at batch start are covered.
+		target := (uncovered + 1) / 2
+		claimed := len(centers) // centers cover themselves
+		for claimed < target {
+			got := gr.step()
+			if got == 0 {
+				break // all frontiers exhausted; activate the next batch
+			}
+			claimed += got
+		}
+	}
+
+	// Remaining uncovered nodes become singleton clusters.
+	rest := gr.selectUncovered(nil, func(graph.NodeID) bool { return true })
+	for _, u := range rest {
+		gr.addCenter(u)
+	}
+	return gr.finish(batches), nil
+}

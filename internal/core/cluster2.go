@@ -1,0 +1,71 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Cluster2 runs the paper's Algorithm 2, CLUSTER2(τ): it first runs
+// CLUSTER(τ) to learn the maximum cluster radius R_ALG, then recomputes a
+// decomposition in log n iterations where iteration i selects each
+// uncovered node as a center with probability 2^i/n and grows every active
+// cluster for exactly 2·R_ALG rounds.
+//
+// The lower bound on growing steps per iteration is what Theorem 3 needs to
+// bound the number of clusters intersecting any shortest path, making the
+// quotient-graph diameter approximation factor independent of the number of
+// clusters. With high probability the result has O(τ·log⁴n) clusters of
+// maximum radius at most 2·R_ALG·log n (Lemma 2).
+func Cluster2(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	pre, err := Cluster(g, tau, opt)
+	if err != nil {
+		return nil, err
+	}
+	return cluster2With(g, pre.MaxRadius(), opt)
+}
+
+// Cluster2WithRadius runs the second phase of CLUSTER2 with a caller-
+// supplied radius bound (e.g. a cached R_ALG from a previous run).
+func Cluster2WithRadius(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) {
+	if rAlg < 0 {
+		return nil, errors.New("core: negative radius bound")
+	}
+	return cluster2With(g, rAlg, opt)
+}
+
+func cluster2With(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) {
+	opt = opt.withDefaults()
+	n := g.NumNodes()
+	gr := newGrower(g, opt.Workers)
+	seed := rng.Mix64(opt.Seed, 0xc105_7e22, uint64(rAlg))
+
+	iters := int(math.Ceil(log2n(n)))
+	if iters < 1 {
+		iters = 1
+	}
+	var centers []graph.NodeID
+	batches := 0
+	for i := 1; i <= iters && gr.uncovered() > 0; i++ {
+		p := math.Pow(2, float64(i)) / float64(n)
+		if i == iters {
+			p = 1 // final iteration covers every remaining node
+		}
+		it := uint64(i)
+		centers = gr.selectUncovered(centers[:0], func(u graph.NodeID) bool {
+			return rng.Coin(p, seed, it, uint64(u))
+		})
+		for _, u := range centers {
+			gr.addCenter(u)
+		}
+		batches++
+		for s := int32(0); s < 2*rAlg; s++ {
+			if gr.step() == 0 {
+				break
+			}
+		}
+	}
+	return gr.finish(batches), nil
+}

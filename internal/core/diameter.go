@@ -1,0 +1,181 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+	"repro/internal/quotient"
+	"repro/internal/spanner"
+)
+
+// DiameterOptions configures the decomposition-based diameter estimator of
+// Section 4.
+type DiameterOptions struct {
+	Options
+
+	// Tau is the granularity parameter of the underlying decomposition:
+	// larger values yield more clusters, a bigger quotient graph, and
+	// (typically) fewer growth rounds. If zero, a default targeting a
+	// quotient of about sqrt(n) nodes is used.
+	Tau int
+
+	// UseCluster2 selects the theory-faithful pipeline: CLUSTER2 with its
+	// lower-bounded growth (the path analyzed by Theorem 3 / Corollary 1).
+	// The default false uses plain CLUSTER, the simplification the paper's
+	// own experiments adopt (Section 6.2).
+	UseCluster2 bool
+
+	// ExactBudget caps the number of BFS/Dijkstra searches used to compute
+	// the quotient graph diameters exactly (0 = unlimited). If the budget
+	// is exhausted, the reported quotient diameters are lower bounds and
+	// DiameterResult.Exact is false.
+	ExactBudget int
+
+	// SparsifyThreshold, when positive, triggers the Theorem 4
+	// sparsification: if the weighted quotient graph has more edges than
+	// this (i.e. exceeds the reducers' local memory in the MR reading), it
+	// is replaced by a Baswana–Sen 3-spanner before its diameter is
+	// computed. The spanner only lengthens quotient distances (it is a
+	// subgraph), so the reported upper bound remains certified; it loosens
+	// by at most the constant stretch factor.
+	SparsifyThreshold int
+}
+
+// DiameterResult carries the diameter estimate and everything the paper's
+// Tables 3 and 4 report about a run.
+type DiameterResult struct {
+	// Clustering is the decomposition the estimate was derived from.
+	Clustering *Clustering
+	// Quotient is the unweighted quotient graph (nC nodes, mC edges).
+	Quotient *graph.Graph
+	// WeightedQuotient carries shortest-crossing-path edge weights.
+	WeightedQuotient *graph.Weighted
+	// RMax is the maximum cluster radius (R_ALG, or R_ALG2 with CLUSTER2).
+	RMax int32
+	// DeltaC is the (hop) diameter of the unweighted quotient graph, a
+	// lower bound on the true diameter ∆.
+	DeltaC int64
+	// DeltaCWeighted is the diameter ∆′C of the weighted quotient graph.
+	DeltaCWeighted int64
+	// UpperLoose is ∆′ = 2·RMax·(∆C + 1) + ∆C, the upper bound of
+	// Corollary 1 (unweighted variant).
+	UpperLoose int64
+	// Upper is ∆″ = 2·RMax + ∆′C ≤ ∆′, the tighter weighted-variant upper
+	// bound that the paper's experiments report as the estimate ∆′.
+	Upper int64
+	// Exact reports whether the quotient diameters were certified exact
+	// (see DiameterOptions.ExactBudget).
+	Exact bool
+	// Sparsified reports whether the weighted quotient was replaced by a
+	// Baswana–Sen spanner before the upper bound was computed
+	// (DiameterOptions.SparsifyThreshold).
+	Sparsified bool
+	// Stats aggregates the BSP cost of the clustering phase.
+	Stats bsp.Stats
+	// Elapsed is the wall-clock time of the whole estimation.
+	Elapsed time.Duration
+}
+
+// ApproxDiameter estimates the diameter of the connected graph g by
+// decomposing it, building the quotient graph of the clustering, and
+// computing the quotient diameter(s). It returns certified lower and upper
+// bounds DeltaC ≤ ∆ ≤ Upper; with high probability Upper = O(∆·log³n)
+// (Corollary 1), and in practice Upper/∆ < 2 (Section 6.2).
+func ApproxDiameter(g *graph.Graph, opt DiameterOptions) (*DiameterResult, error) {
+	start := time.Now()
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("core: diameter of empty graph")
+	}
+	tau := opt.Tau
+	if tau <= 0 {
+		tau = defaultDiameterTau(n)
+	}
+
+	var (
+		cl  *Clustering
+		err error
+	)
+	if opt.UseCluster2 {
+		cl, err = Cluster2(g, tau, opt.Options)
+	} else {
+		cl, err = Cluster(g, tau, opt.Options)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res, err := diameterFromClustering(cl, opt.ExactBudget, opt.SparsifyThreshold, opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// DiameterFromClustering derives the diameter bounds from an existing
+// decomposition (the clustering phase dominates the cost; this entry point
+// lets experiments reuse one clustering for several analyses).
+func DiameterFromClustering(cl *Clustering, exactBudget int) (*DiameterResult, error) {
+	return diameterFromClustering(cl, exactBudget, 0, 0)
+}
+
+func diameterFromClustering(cl *Clustering, exactBudget, sparsifyThreshold int, seed uint64) (*DiameterResult, error) {
+	q, wq, err := quotient.BuildWeighted(cl.G, cl.Owner, cl.Dist, cl.NumClusters())
+	if err != nil {
+		return nil, err
+	}
+	sparsified := false
+	if sparsifyThreshold > 0 && wq.NumEdges() > sparsifyThreshold {
+		// Only the upper-bound path may use the spanner: spanner distances
+		// dominate the original quotient distances, so 2R + ∆'C(spanner)
+		// is still a certified upper bound (at most a constant looser).
+		// The lower bound ∆C needs the full quotient topology — a spanner
+		// hop count can exceed the corresponding G-distance.
+		sp, err := spanner.BaswanaSen(wq, 2, seed)
+		if err != nil {
+			return nil, err
+		}
+		wq = sp
+		sparsified = true
+	}
+	rMax := cl.MaxRadius()
+
+	deltaC, exact1 := q.ExactDiameter(exactBudget)
+	deltaCW, exact2 := wq.ExactDiameterWeighted(exactBudget)
+
+	res := &DiameterResult{
+		Clustering:       cl,
+		Quotient:         q,
+		WeightedQuotient: wq,
+		RMax:             rMax,
+		DeltaC:           int64(deltaC),
+		DeltaCWeighted:   deltaCW,
+		UpperLoose:       2*int64(rMax)*(int64(deltaC)+1) + int64(deltaC),
+		Upper:            2*int64(rMax) + deltaCW,
+		Exact:            exact1 && exact2,
+		Sparsified:       sparsified,
+		Stats:            cl.Stats,
+	}
+	if res.Upper > res.UpperLoose {
+		// ∆″ ≤ ∆′ holds when the quotient diameters are exact; under a
+		// truncated search both are still valid upper bounds, keep the
+		// smaller.
+		res.Upper = res.UpperLoose
+	}
+	return res, nil
+}
+
+// defaultDiameterTau picks a granularity yielding a quotient graph of
+// roughly sqrt(n) clusters: CLUSTER returns O(τ·log²n) clusters, so
+// τ ≈ sqrt(n)/log²n (at least 1).
+func defaultDiameterTau(n int) int {
+	logn := log2n(n)
+	tau := int(math.Sqrt(float64(n)) / (logn * logn))
+	if tau < 1 {
+		tau = 1
+	}
+	return tau
+}

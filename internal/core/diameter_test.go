@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func checkDiameterBounds(t *testing.T, name string, g *graph.Graph, opt DiameterOptions) *DiameterResult {
+	t.Helper()
+	res, err := ApproxDiameter(g, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	truth, exact := g.ExactDiameter(0)
+	if !exact {
+		t.Fatalf("%s: could not certify true diameter", name)
+	}
+	if !res.Exact {
+		t.Fatalf("%s: quotient diameters not exact", name)
+	}
+	if res.DeltaC > int64(truth) {
+		t.Errorf("%s: lower bound ∆C=%d exceeds true diameter %d", name, res.DeltaC, truth)
+	}
+	if res.Upper < int64(truth) {
+		t.Errorf("%s: upper bound ∆″=%d below true diameter %d", name, res.Upper, truth)
+	}
+	if res.Upper > res.UpperLoose {
+		t.Errorf("%s: ∆″=%d exceeds ∆′=%d", name, res.Upper, res.UpperLoose)
+	}
+	return res
+}
+
+func TestApproxDiameterBounds(t *testing.T) {
+	for name, g := range testGraphs() {
+		checkDiameterBounds(t, name, g, DiameterOptions{Options: Options{Seed: 1}})
+	}
+}
+
+func TestApproxDiameterCluster2Bounds(t *testing.T) {
+	g := graph.Mesh(40, 40)
+	checkDiameterBounds(t, "mesh-cluster2", g, DiameterOptions{
+		Options:     Options{Seed: 2},
+		UseCluster2: true,
+	})
+}
+
+func TestApproxDiameterQualityOnLongDiameterGraphs(t *testing.T) {
+	// The paper observes ∆′/∆ < 2 on all benchmarks (Table 3), with the
+	// ratio shrinking on sparse long-diameter graphs. Allow a little slack
+	// for the scaled-down instances.
+	for name, g := range map[string]*graph.Graph{
+		"mesh": graph.Mesh(60, 60),
+		"road": graph.RoadLike(50, 50, 0.4, 3),
+	} {
+		res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, _ := g.ExactDiameter(0)
+		ratio := float64(res.Upper) / float64(truth)
+		if ratio >= 2.5 {
+			t.Errorf("%s: ∆″/∆ = %.2f, want < 2.5 (paper observes < 2)", name, ratio)
+		}
+		if ratio < 1 {
+			t.Errorf("%s: ratio %.2f below 1 — not an upper bound", name, ratio)
+		}
+	}
+}
+
+func TestApproxDiameterInsensitiveToGranularity(t *testing.T) {
+	// Table 3: the approximation quality does not depend on the clustering
+	// granularity. Compare coarse vs fine on the same graph.
+	g := graph.RoadLike(40, 40, 0.4, 4)
+	truth, _ := g.ExactDiameter(0)
+	for _, tau := range []int{1, 8} {
+		res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 5}, Tau: tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(res.Upper) / float64(truth)
+		if ratio >= 3 {
+			t.Errorf("tau=%d: ratio %.2f too large", tau, ratio)
+		}
+	}
+}
+
+func TestApproxDiameterRoundsSublinearInDiameter(t *testing.T) {
+	// The whole point: on long-diameter graphs the number of growth rounds
+	// is much smaller than ∆ (which is what BFS/HADI need).
+	g := graph.Mesh(80, 80) // diameter 158
+	res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 6}, Tau: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := g.ExactDiameter(0)
+	if int64(res.Stats.Rounds) >= int64(truth)/2 {
+		t.Errorf("clustering rounds %d not sublinear in diameter %d", res.Stats.Rounds, truth)
+	}
+}
+
+func TestApproxDiameterDefaults(t *testing.T) {
+	g := graph.BarabasiAlbert(3000, 3, 7)
+	res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quotient.NumNodes() != res.Clustering.NumClusters() {
+		t.Fatal("quotient size mismatch")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("elapsed time not recorded")
+	}
+}
+
+func TestApproxDiameterEmptyGraph(t *testing.T) {
+	if _, err := ApproxDiameter(graph.NewBuilder(0).Build(), DiameterOptions{}); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestApproxDiameterSingleNode(t *testing.T) {
+	res, err := ApproxDiameter(graph.Path(1), DiameterOptions{Options: Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeltaC != 0 || res.Upper != 0 {
+		t.Fatalf("single node: ∆C=%d ∆″=%d want 0,0", res.DeltaC, res.Upper)
+	}
+}
+
+func TestDiameterFromClusteringReuse(t *testing.T) {
+	g := graph.Mesh(30, 30)
+	cl, err := Cluster(g, 4, Options{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DiameterFromClustering(cl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := g.ExactDiameter(0)
+	if res.DeltaC > int64(truth) || res.Upper < int64(truth) {
+		t.Fatalf("bounds [%d, %d] do not bracket %d", res.DeltaC, res.Upper, truth)
+	}
+}
+
+func TestApproxDiameterSparsified(t *testing.T) {
+	// Force sparsification with a tiny threshold; the upper bound must stay
+	// certified (and at most a constant looser than the unsparsified one).
+	g := graph.Mesh(40, 40)
+	plain, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 9}, Tau: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ApproxDiameter(g, DiameterOptions{
+		Options: Options{Seed: 9}, Tau: 8, SparsifyThreshold: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Sparsified {
+		t.Fatal("threshold 10 should have triggered sparsification")
+	}
+	truth, _ := g.ExactDiameter(0)
+	if sp.Upper < int64(truth) {
+		t.Fatalf("sparsified upper %d below true %d", sp.Upper, truth)
+	}
+	// 3-spanner stretch: the weighted quotient diameter grows by at most 3x,
+	// so Upper = 2R + ∆'C grows by at most 3x too.
+	if sp.Upper > 3*plain.Upper {
+		t.Fatalf("sparsified upper %d more than 3x plain %d", sp.Upper, plain.Upper)
+	}
+	if sp.WeightedQuotient.NumEdges() > plain.WeightedQuotient.NumEdges() {
+		t.Fatal("spanner did not remove any quotient edge")
+	}
+	// The lower bound must be unaffected (computed on the full quotient).
+	if sp.DeltaC != plain.DeltaC {
+		t.Fatalf("sparsification changed the lower bound: %d vs %d", sp.DeltaC, plain.DeltaC)
+	}
+}
+
+func TestApproxDiameterSparsifyThresholdNotReached(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	res, err := ApproxDiameter(g, DiameterOptions{
+		Options: Options{Seed: 10}, Tau: 2, SparsifyThreshold: 1 << 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sparsified {
+		t.Fatal("huge threshold should not trigger sparsification")
+	}
+}
+
+func TestDefaultDiameterTau(t *testing.T) {
+	if defaultDiameterTau(10) < 1 {
+		t.Fatal("tau must be at least 1")
+	}
+	if defaultDiameterTau(1_000_000) <= defaultDiameterTau(1000) {
+		t.Fatal("tau should grow with n")
+	}
+}

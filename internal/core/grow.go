@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+// grower is the shared engine for disjoint parallel cluster growing: it
+// maintains the ownership and distance arrays and advances all active
+// clusters one synchronous BSP round at a time. CLUSTER and CLUSTER2 (and
+// the package mpx, via its own variant) are thin drivers around it.
+type grower struct {
+	g        *graph.Graph
+	e        *bsp.Expander
+	owner    []int32 // cluster index per node; -1 = uncovered
+	dist     []int32
+	centers  []graph.NodeID
+	frontier []graph.NodeID
+	covered  int
+	steps    int
+	stats    bsp.Stats
+}
+
+func newGrower(g *graph.Graph, workers int) *grower {
+	n := g.NumNodes()
+	gr := &grower{
+		g:     g,
+		e:     bsp.NewExpander(g, workers),
+		owner: make([]int32, n),
+		dist:  make([]int32, n),
+	}
+	for i := range gr.owner {
+		gr.owner[i] = -1
+	}
+	return gr
+}
+
+func (gr *grower) uncovered() int { return gr.g.NumNodes() - gr.covered }
+
+// addCenter makes u the center of a fresh singleton cluster and returns the
+// cluster index. u must be uncovered. Not safe for concurrent use: centers
+// are added between growth rounds, matching the algorithm structure.
+func (gr *grower) addCenter(u graph.NodeID) int {
+	if gr.owner[u] != -1 {
+		panic("core: addCenter on covered node")
+	}
+	id := len(gr.centers)
+	gr.centers = append(gr.centers, u)
+	gr.owner[u] = int32(id)
+	gr.dist[u] = 0
+	gr.frontier = append(gr.frontier, u)
+	gr.covered++
+	return id
+}
+
+// step grows every active cluster by one round: each frontier node claims
+// its uncovered neighbors (CAS, arbitrary winner under contention, as the
+// paper allows) and returns the number of newly covered nodes.
+func (gr *grower) step() int {
+	if len(gr.frontier) == 0 {
+		return 0
+	}
+	if len(gr.frontier) > gr.stats.MaxFrontier {
+		gr.stats.MaxFrontier = len(gr.frontier)
+	}
+	owner, dist := gr.owner, gr.dist
+	next, arcs := gr.e.Step(gr.frontier, func(_ int, u, v graph.NodeID) bool {
+		// owner[u] is stable (set in an earlier round), but read it
+		// atomically: other workers issue CAS attempts on arbitrary
+		// elements of the array, and mixed atomic/non-atomic access to the
+		// same address would trip the race detector.
+		o := atomic.LoadInt32(&owner[u])
+		if atomic.CompareAndSwapInt32(&owner[v], -1, o) {
+			dist[v] = dist[u] + 1
+			return true
+		}
+		return false
+	})
+	gr.stats.Rounds++
+	gr.stats.Messages += arcs
+	gr.steps++
+	gr.frontier = next
+	gr.covered += len(next)
+	return len(next)
+}
+
+// selectUncovered appends to dst every uncovered node u for which pick(u)
+// is true, scanning in parallel but returning nodes in ascending id order
+// so that center numbering is deterministic.
+func (gr *grower) selectUncovered(dst []graph.NodeID, pick func(u graph.NodeID) bool) []graph.NodeID {
+	n := gr.g.NumNodes()
+	w := gr.e.NumWorkers()
+	parts := make([][]graph.NodeID, w)
+	bsp.ParallelFor(w, n, func(worker, lo, hi int) {
+		var local []graph.NodeID
+		for u := lo; u < hi; u++ {
+			if gr.owner[u] == -1 && pick(graph.NodeID(u)) {
+				local = append(local, graph.NodeID(u))
+			}
+		}
+		parts[worker] = local
+	})
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// finish freezes the grower into a Clustering, computing per-cluster radii.
+func (gr *grower) finish(batches int) *Clustering {
+	n := gr.g.NumNodes()
+	c := &Clustering{
+		G:           gr.g,
+		Owner:       make([]graph.NodeID, n),
+		Dist:        gr.dist,
+		Centers:     gr.centers,
+		Radii:       make([]int32, len(gr.centers)),
+		GrowthSteps: gr.steps,
+		Batches:     batches,
+		Stats:       gr.stats,
+	}
+	for u := 0; u < n; u++ {
+		c.Owner[u] = graph.NodeID(gr.owner[u])
+		if gr.owner[u] >= 0 && gr.dist[u] > c.Radii[gr.owner[u]] {
+			c.Radii[gr.owner[u]] = gr.dist[u]
+		}
+	}
+	return c
+}

@@ -1,0 +1,44 @@
+package core
+
+import "math"
+
+// Options configures the randomized decomposition algorithms.
+// The zero value selects paper-faithful defaults.
+type Options struct {
+	// Seed drives every random choice. Runs with equal seeds produce
+	// identical clusterings regardless of the worker count (per-node coins
+	// are hash-based, and concurrent claim ties — which the paper allows to
+	// be arbitrary — only affect cluster ownership, not coverage rounds).
+	Seed uint64
+
+	// Workers is the parallelism of the BSP substrate; non-positive selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// CenterFactor is the constant in the per-batch center selection
+	// probability CenterFactor*τ*log n / |uncovered| (the paper uses 4).
+	CenterFactor float64
+
+	// ThresholdFactor is the constant in the loop guard
+	// |uncovered| >= ThresholdFactor*τ*log n (the paper uses 8).
+	ThresholdFactor float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CenterFactor <= 0 {
+		o.CenterFactor = 4
+	}
+	if o.ThresholdFactor <= 0 {
+		o.ThresholdFactor = 8
+	}
+	return o
+}
+
+// log2n returns log2(n) clamped below at 1, the "log n" of the paper's
+// pseudocode (base-2 logarithms per its footnote).
+func log2n(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(float64(n))
+}

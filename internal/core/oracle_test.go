@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func TestOracleUpperBoundsTrueDistance(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"mesh":   graph.Mesh(30, 30),
+		"social": graph.BarabasiAlbert(1500, 3, 2),
+		"road":   graph.RoadLike(25, 25, 0.4, 3),
+	} {
+		o, err := BuildOracle(g, 2, false, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		r := rng.New(42)
+		n := g.NumNodes()
+		for trial := 0; trial < 30; trial++ {
+			u := graph.NodeID(r.Intn(n))
+			dist := g.BFS(u)
+			v := graph.NodeID(r.Intn(n))
+			est := o.Query(u, v)
+			if est < int64(dist[v]) {
+				t.Fatalf("%s: oracle %d below true distance %d for (%d,%d)", name, est, dist[v], u, v)
+			}
+		}
+	}
+}
+
+func TestOracleApproximationQuality(t *testing.T) {
+	// d'(u,v) = O(d(u,v)·log³n + R_ALG2): check a generous concrete version
+	// of that bound on a mesh.
+	g := graph.Mesh(40, 40)
+	o, err := BuildOracle(g, 2, false, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMax := int64(o.Clustering().MaxRadius())
+	r := rng.New(7)
+	n := g.NumNodes()
+	for trial := 0; trial < 20; trial++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		d := int64(g.BFS(u)[v])
+		est := o.Query(u, v)
+		if est > 12*d+4*rMax+4 {
+			t.Fatalf("oracle %d too far above true %d (R=%d)", est, d, rMax)
+		}
+	}
+}
+
+func TestOracleIdentityAndSymmetry(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	o, err := BuildOracle(g, 2, false, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		u := graph.NodeID(r.Intn(g.NumNodes()))
+		v := graph.NodeID(r.Intn(g.NumNodes()))
+		if o.Query(u, u) != 0 {
+			t.Fatal("Query(u,u) != 0")
+		}
+		if o.Query(u, v) != o.Query(v, u) {
+			t.Fatalf("asymmetric oracle: (%d,%d)", u, v)
+		}
+	}
+}
+
+func TestOracleDisconnected(t *testing.T) {
+	b := graph.NewBuilder(20)
+	for i := 0; i < 9; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	for i := 10; i < 19; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g := b.Build()
+	o, err := BuildOracle(g, 2, false, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Query(0, 15) != graph.InfDist {
+		t.Fatal("cross-component query should be InfDist")
+	}
+	if o.Query(0, 5) == graph.InfDist {
+		t.Fatal("same-component query should be finite")
+	}
+}
+
+func TestOracleCluster2Variant(t *testing.T) {
+	g := graph.Mesh(25, 25)
+	o, err := BuildOracle(g, 2, true, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := int64(g.BFS(0)[g.NumNodes()-1])
+	if est := o.Query(0, graph.NodeID(g.NumNodes()-1)); est < d {
+		t.Fatalf("cluster2 oracle below true distance: %d < %d", est, d)
+	}
+}
+
+func TestOracleCapEnforced(t *testing.T) {
+	// A path with tau forcing every node into its own cluster exceeds the
+	// APSP cap.
+	g := graph.Path(maxOracleClusters + 10)
+	cl := &Clustering{
+		G:       g,
+		Owner:   make([]graph.NodeID, g.NumNodes()),
+		Dist:    make([]int32, g.NumNodes()),
+		Centers: make([]graph.NodeID, g.NumNodes()),
+		Radii:   make([]int32, g.NumNodes()),
+	}
+	for i := range cl.Owner {
+		cl.Owner[i] = graph.NodeID(i)
+		cl.Centers[i] = graph.NodeID(i)
+	}
+	if _, err := OracleFromClustering(cl); err == nil {
+		t.Fatal("oracle cap should reject huge quotient graphs")
+	}
+}
+
+func TestOracleLowerQueryBoundsTruth(t *testing.T) {
+	g := graph.Mesh(25, 25)
+	o, err := BuildOracle(g, 2, false, Options{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	n := g.NumNodes()
+	for trial := 0; trial < 30; trial++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		truth := int64(g.BFS(u)[v])
+		lo := o.LowerQuery(u, v)
+		hi := o.Query(u, v)
+		if lo > truth {
+			t.Fatalf("lower bound %d exceeds true distance %d for (%d,%d)", lo, truth, u, v)
+		}
+		if lo > hi {
+			t.Fatalf("lower bound %d exceeds upper bound %d", lo, hi)
+		}
+	}
+	if o.LowerQuery(3, 3) != 0 {
+		t.Fatal("LowerQuery(u,u) != 0")
+	}
+}
+
+func TestOracleLowerQueryDisconnected(t *testing.T) {
+	b := graph.NewBuilder(10)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	for i := 5; i < 9; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	o, err := BuildOracle(b.Build(), 2, false, Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.LowerQuery(0, 8) != graph.InfDist {
+		t.Fatal("cross-component lower bound should be InfDist")
+	}
+}
+
+func TestDefaultOracleTau(t *testing.T) {
+	if DefaultOracleTau(100) < 1 {
+		t.Fatal("tau must be >= 1")
+	}
+	if DefaultOracleTau(1<<30) < 1 {
+		t.Fatal("tau must stay positive for large n")
+	}
+	// sqrt(n)/log⁴n only exceeds 1 for astronomically large n.
+	if DefaultOracleTau(1<<60) < 2 {
+		t.Fatal("tau should grow for huge n")
+	}
+}

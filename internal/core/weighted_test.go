@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func randomWeighted(t *testing.T, g *graph.Graph, seed uint64, maxW int) *graph.Weighted {
+	t.Helper()
+	edges := g.EdgeList()
+	r := rng.New(seed)
+	ws := make([]int32, len(edges))
+	for i := range ws {
+		ws[i] = int32(1 + r.Intn(maxW))
+	}
+	return graph.NewWeighted(g.NumNodes(), edges, ws)
+}
+
+func TestWeightedClusterPartitionValid(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"mesh":   graph.Mesh(30, 30),
+		"road":   graph.RoadLike(25, 25, 0.4, 2),
+		"social": graph.BarabasiAlbert(1500, 4, 3),
+	} {
+		wg := randomWeighted(t, g, 7, 9)
+		wc, err := WeightedCluster(wg, 4, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := wc.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestWeightedClusterErrors(t *testing.T) {
+	wg := randomWeighted(t, graph.Path(5), 1, 3)
+	if _, err := WeightedCluster(wg, 0, Options{}); err == nil {
+		t.Fatal("tau=0 should fail")
+	}
+	if _, err := WeightedCluster(graph.NewWeighted(0, nil, nil), 1, Options{}); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestWeightedClusterWDistUpperBoundsTrueDistance(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	wg := randomWeighted(t, g, 9, 5)
+	wc, err := WeightedCluster(wg, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WDist records the length of an actual growth path, hence an upper
+	// bound on the true weighted distance to the center.
+	for c, center := range wc.Centers {
+		dist := wg.Dijkstra(center)
+		for u := 0; u < wg.NumNodes(); u++ {
+			if wc.Owner[u] == graph.NodeID(c) && wc.WDist[u] < dist[u] {
+				t.Fatalf("WDist[%d]=%d below true %d", u, wc.WDist[u], dist[u])
+			}
+		}
+	}
+}
+
+func TestWeightedClusterHopRadiusBoundsDepth(t *testing.T) {
+	g := graph.RoadLike(25, 25, 0.4, 5)
+	wg := randomWeighted(t, g, 11, 4)
+	wc, err := WeightedCluster(wg, 8, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parallel depth is the number of growth rounds, which dominates
+	// every cluster's hop radius.
+	if int(wc.MaxHopRadius()) > wc.GrowthSteps {
+		t.Fatalf("hop radius %d exceeds growth steps %d", wc.MaxHopRadius(), wc.GrowthSteps)
+	}
+}
+
+func TestWeightedClusterUnitWeightsMatchShape(t *testing.T) {
+	// With unit weights the weighted decomposition behaves like CLUSTER:
+	// hop and weighted radii coincide.
+	g := graph.Mesh(25, 25)
+	edges := g.EdgeList()
+	ws := make([]int32, len(edges))
+	for i := range ws {
+		ws[i] = 1
+	}
+	wg := graph.NewWeighted(g.NumNodes(), edges, ws)
+	wc, err := WeightedCluster(wg, 4, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(wc.MaxHopRadius()) != wc.MaxWeightedRadius() {
+		t.Fatalf("unit weights: hop radius %d != weighted radius %d",
+			wc.MaxHopRadius(), wc.MaxWeightedRadius())
+	}
+}
+
+func TestWeightedClusterDeterministic(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	wg := randomWeighted(t, g, 13, 6)
+	a, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumClusters() != b.NumClusters() {
+		t.Fatal("worker count changed the clustering")
+	}
+	for u := range a.Owner {
+		if a.Owner[u] != b.Owner[u] || a.WDist[u] != b.WDist[u] {
+			t.Fatalf("diverged at node %d (claims are resolved deterministically)", u)
+		}
+	}
+}
+
+func TestApproxDiameterWeightedUpperBound(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"mesh": graph.Mesh(25, 25),
+		"road": graph.RoadLike(20, 20, 0.4, 6),
+	} {
+		wg := randomWeighted(t, g, 15, 7)
+		res, err := ApproxDiameterWeighted(wg, 4, Options{Seed: 6})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		truth, exact := wg.ExactDiameterWeighted(0)
+		if !exact {
+			t.Fatalf("%s: truth not certified", name)
+		}
+		if res.Upper < truth {
+			t.Errorf("%s: upper %d below true weighted diameter %d", name, res.Upper, truth)
+		}
+		if !res.Exact {
+			t.Errorf("%s: quotient diameter not exact", name)
+		}
+		// Sanity on looseness: within a generous constant at this scale.
+		if res.Upper > 6*truth {
+			t.Errorf("%s: upper %d too loose vs %d", name, res.Upper, truth)
+		}
+	}
+}
+
+func TestApproxDiameterWeightedUnitMatchesUnweightedPipeline(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	edges := g.EdgeList()
+	ws := make([]int32, len(edges))
+	for i := range ws {
+		ws[i] = 1
+	}
+	wg := graph.NewWeighted(g.NumNodes(), edges, ws)
+	res, err := ApproxDiameterWeighted(wg, 4, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, _ := g.ExactDiameter(0)
+	if res.Upper < int64(truth) {
+		t.Fatalf("unit-weight upper %d below %d", res.Upper, truth)
+	}
+	if res.Upper > 3*int64(truth) {
+		t.Fatalf("unit-weight upper %d too loose vs %d", res.Upper, truth)
+	}
+}

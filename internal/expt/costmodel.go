@@ -1,0 +1,50 @@
+package expt
+
+import "time"
+
+// Cluster cost model. The experiments run on an in-process BSP simulator,
+// so raw wall-clock times do not include the per-round scheduling/
+// synchronization latency and network transfer that dominate on the
+// paper's 16-host Spark cluster — precisely the costs whose round-count
+// dependence the paper's algorithm attacks. To report a faithful "time"
+// column, the harness therefore also derives a modeled cluster time
+//
+//	T = Rounds · RoundLatency + Messages · MessageBytes / Bandwidth
+//
+// from the measured rounds and message volume. The defaults are deliberately
+// conservative for a Spark-class engine on 10 GbE (the paper's testbed):
+// a few hundred milliseconds of per-round overhead and a shared gigabyte-
+// per-second effective bandwidth. The qualitative Table 4 / Figure 1
+// conclusions are insensitive to the constants because they rest on
+// round-count ratios of two to three orders of magnitude.
+type CostModel struct {
+	// RoundLatency is the fixed per-round cost (scheduling, barriers,
+	// shuffle setup).
+	RoundLatency time.Duration
+	// MessageBytes is the wire size of one message unit (one edge message;
+	// HADI's register words already count each word as one unit).
+	MessageBytes int64
+	// Bandwidth is the effective aggregate bandwidth in bytes/second.
+	Bandwidth int64
+}
+
+// DefaultCostModel mirrors a Spark-on-10GbE deployment.
+var DefaultCostModel = CostModel{
+	RoundLatency: 300 * time.Millisecond,
+	MessageBytes: 8,
+	Bandwidth:    1_000_000_000,
+}
+
+// Time returns the modeled cluster time for a run with the given rounds
+// and message volume.
+func (m CostModel) Time(rounds int, messages int64) time.Duration {
+	if m.RoundLatency == 0 && m.Bandwidth == 0 {
+		m = DefaultCostModel
+	}
+	t := time.Duration(rounds) * m.RoundLatency
+	if m.Bandwidth > 0 {
+		bytes := messages * m.MessageBytes
+		t += time.Duration(float64(bytes) / float64(m.Bandwidth) * float64(time.Second))
+	}
+	return t
+}

@@ -1,0 +1,204 @@
+// Package expt is the experiment harness: it defines the benchmark
+// datasets (synthetic stand-ins for the paper's Table 1 graphs, see
+// DESIGN.md §2) and regenerates every table and figure of the paper's
+// Section 6 evaluation. Each experiment returns structured rows so tests
+// can assert the qualitative "shape" results, plus a text rendering that
+// mirrors the paper's tables.
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Config selects the scale and seeds of an experiment run.
+type Config struct {
+	// Scale multiplies the linear size of every dataset: 1.0 is the default
+	// experiment scale (10⁴-10⁵ nodes per graph, minutes for the full
+	// suite); tests use ~0.2, and the paper's full mesh1000 corresponds to
+	// Scale ≈ 3 on the mesh dataset.
+	Scale float64
+	// Seed drives all randomized algorithms.
+	Seed uint64
+	// Workers is the BSP parallelism (non-positive = GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 1
+	}
+	return c.Scale
+}
+
+// Dataset describes one benchmark graph.
+type Dataset struct {
+	// Name identifies the dataset in tables.
+	Name string
+	// PaperAnalog is the Table 1 graph this one stands in for.
+	PaperAnalog string
+	// LongDiameter marks road/mesh-style graphs; it selects the
+	// decomposition granularity the paper uses (n/100 vs n/1000).
+	LongDiameter bool
+	// Build constructs the graph at the given scale (always connected).
+	Build func(scale float64) *graph.Graph
+}
+
+func dim(base int, scale float64) int {
+	d := int(math.Round(float64(base) * scale))
+	if d < 8 {
+		d = 8
+	}
+	return d
+}
+
+func count(base int, scale float64) int {
+	// Node counts scale with the square of the linear scale so that social
+	// and grid datasets shrink comparably.
+	n := int(math.Round(float64(base) * scale * scale))
+	if n < 500 {
+		n = 500
+	}
+	return n
+}
+
+// Datasets returns the benchmark suite in Table 1 order.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name:        "ba-social",
+			PaperAnalog: "twitter (40M nodes, ∆=16)",
+			Build: func(s float64) *graph.Graph {
+				return graph.BarabasiAlbert(count(60000, s), 8, 101)
+			},
+		},
+		{
+			Name:        "rmat-social",
+			PaperAnalog: "livejournal (4M nodes, ∆=21)",
+			Build: func(s float64) *graph.Graph {
+				// R-MAT at the nearest power-of-two scale, largest CC.
+				target := count(48000, s)
+				sc := 1
+				for 1<<sc < target {
+					sc++
+				}
+				g := graph.RMAT(sc, 8, 102)
+				lc, _ := g.LargestComponent()
+				return lc
+			},
+		},
+		{
+			Name:         "road-a",
+			PaperAnalog:  "roads-CA (∆=849)",
+			LongDiameter: true,
+			Build: func(s float64) *graph.Graph {
+				return graph.RoadLike(dim(260, s), dim(260, s), 0.40, 103)
+			},
+		},
+		{
+			Name:         "road-b",
+			PaperAnalog:  "roads-PA (∆=786)",
+			LongDiameter: true,
+			Build: func(s float64) *graph.Graph {
+				return graph.RoadLike(dim(220, s), dim(300, s), 0.35, 104)
+			},
+		},
+		{
+			Name:         "road-c",
+			PaperAnalog:  "roads-TX (∆=1054)",
+			LongDiameter: true,
+			Build: func(s float64) *graph.Graph {
+				return graph.RoadLike(dim(320, s), dim(240, s), 0.45, 105)
+			},
+		},
+		{
+			Name:         "mesh",
+			PaperAnalog:  "mesh1000 (1000x1000, ∆=1998, b=2)",
+			LongDiameter: true,
+			Build: func(s float64) *graph.Graph {
+				d := dim(320, s)
+				return graph.Mesh(d, d)
+			},
+		},
+	}
+}
+
+// DatasetByName returns the named dataset.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("expt: unknown dataset %q", name)
+}
+
+// granularityTarget returns the cluster-count target the paper aims at:
+// about n/1000 for small-diameter graphs and n/100 for large-diameter ones,
+// clamped so scaled-down instances still produce meaningful clusterings.
+func granularityTarget(d Dataset, n int) int {
+	div := 1000
+	if d.LongDiameter {
+		div = 100
+	}
+	t := n / div
+	if t < 24 {
+		t = 24
+	}
+	return t
+}
+
+// trueDiameterCache memoizes the exact diameter per (dataset, scale):
+// iFUB certification is cheap on long-diameter graphs but can cost minutes
+// on tiny-diameter social graphs (its known worst case), and three tables
+// need the same ground truth.
+var trueDiameterCache sync.Map
+
+// TrueDiameter returns the exact diameter of dataset d at the given scale,
+// memoized across tables. The computation is uncapped: every reported
+// ground-truth value is certified.
+func TrueDiameter(d Dataset, scale float64, g *graph.Graph) (int32, bool) {
+	key := fmt.Sprintf("%s@%g", d.Name, scale)
+	if v, ok := trueDiameterCache.Load(key); ok {
+		r := v.([2]int32)
+		return r[0], r[1] == 1
+	}
+	diam, exact := g.ExactDiameter(0)
+	e := int32(0)
+	if exact {
+		e = 1
+	}
+	trueDiameterCache.Store(key, [2]int32{diam, e})
+	return diam, exact
+}
+
+// Table1Row describes a dataset like the paper's Table 1.
+type Table1Row struct {
+	Name        string
+	PaperAnalog string
+	Nodes       int
+	Edges       int
+	Diameter    int32
+	DiamExact   bool
+}
+
+// Table1 builds every dataset and reports its characteristics.
+func Table1(cfg Config) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, d := range Datasets() {
+		g := d.Build(cfg.scale())
+		diam, exact := TrueDiameter(d, cfg.scale(), g)
+		rows = append(rows, Table1Row{
+			Name:        d.Name,
+			PaperAnalog: d.PaperAnalog,
+			Nodes:       g.NumNodes(),
+			Edges:       g.NumEdges(),
+			Diameter:    diam,
+			DiamExact:   exact,
+		})
+	}
+	return rows, nil
+}

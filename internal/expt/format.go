@@ -1,0 +1,148 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Text renderings of the experiment results, shaped like the paper's
+// tables.
+
+func renderTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	total := len(header)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// FormatTable1 renders dataset characteristics.
+func FormatTable1(rows []Table1Row) string {
+	var out [][]string
+	for _, r := range rows {
+		diam := fmt.Sprintf("%d", r.Diameter)
+		if !r.DiamExact {
+			diam = ">=" + diam
+		}
+		out = append(out, []string{r.Name, fmt.Sprint(r.Nodes), fmt.Sprint(r.Edges), diam, r.PaperAnalog})
+	}
+	return "Table 1: benchmark datasets\n" +
+		renderTable([]string{"dataset", "nodes", "edges", "diameter", "stands in for"}, out)
+}
+
+// FormatTable2 renders the CLUSTER vs MPX comparison.
+func FormatTable2(rows []Table2Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprint(r.ClusterNC), fmt.Sprint(r.ClusterMC), fmt.Sprint(r.ClusterR),
+			fmt.Sprint(r.MPXNC), fmt.Sprint(r.MPXMC), fmt.Sprint(r.MPXR),
+		})
+	}
+	return "Table 2: CLUSTER vs MPX (nC clusters, mC quotient edges, r max radius)\n" +
+		renderTable([]string{"dataset", "nC", "mC", "r", "MPX nC", "MPX mC", "MPX r"}, out)
+}
+
+// FormatTable3 renders the diameter-approximation quality results.
+func FormatTable3(rows []Table3Row) string {
+	var out [][]string
+	for _, r := range rows {
+		diam := fmt.Sprint(r.TrueDiam)
+		if !r.DiamExact {
+			diam = ">=" + diam
+		}
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprint(r.Coarser.NC), fmt.Sprint(r.Coarser.MC), fmt.Sprint(r.Coarser.DeltaPrime),
+			fmt.Sprint(r.Finer.NC), fmt.Sprint(r.Finer.MC), fmt.Sprint(r.Finer.DeltaPrime),
+			diam,
+		})
+	}
+	return "Table 3: diameter approximation at two granularities (∆' = upper estimate)\n" +
+		renderTable([]string{"dataset",
+			"coarse nC", "coarse mC", "coarse ∆'",
+			"fine nC", "fine mC", "fine ∆'", "∆"}, out)
+}
+
+// FormatTable4 renders the estimator comparison.
+func FormatTable4(rows []Table4Row) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dataset,
+			fmt.Sprintf("%s (%d)", fmtDur(r.Cluster.Model), r.Cluster.Estimate),
+			fmt.Sprintf("%s (%d)", fmtDur(r.BFS.Model), r.BFS.Estimate),
+			fmt.Sprintf("%s (%d)", fmtDur(r.HADI.Model), r.HADI.Estimate),
+			fmt.Sprint(r.TrueDiam),
+			fmt.Sprintf("%d/%d/%d", r.Cluster.Rounds, r.BFS.Rounds, r.HADI.Rounds),
+			fmt.Sprintf("%s/%s/%s", fmtDur(r.Cluster.Elapsed), fmtDur(r.BFS.Elapsed), fmtDur(r.HADI.Elapsed)),
+		})
+	}
+	return "Table 4: modeled cluster time (estimate ∆') per estimator; rounds and local wall-clock C/B/H\n" +
+		renderTable([]string{"dataset", "CLUSTER", "BFS", "HADI", "∆", "rounds", "local time"}, out)
+}
+
+// FormatFigure1 renders the tail-experiment series as aligned columns
+// (one row per (dataset, c): the paper plots these as curves).
+func FormatFigure1(points []Figure1Point) string {
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			p.Dataset, fmt.Sprint(p.C), fmt.Sprint(p.TailLen),
+			fmtDur(p.ClusterModel), fmt.Sprint(p.ClusterRounds),
+			fmtDur(p.BFSModel), fmt.Sprint(p.BFSRounds),
+		})
+	}
+	return "Figure 1: tail experiment (modeled cluster time and rounds vs tail length c·∆)\n" +
+		renderTable([]string{"dataset", "c", "tail", "CLUSTER t", "C rounds", "BFS t", "B rounds"}, out)
+}
+
+// FormatMRReport renders the MR-model validation.
+func FormatMRReport(r *MRReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MR(MG,ML) model validation (Lemma 3 / Theorem 4)\n")
+	fmt.Fprintf(&b, "  graph: n=%d m=%d\n", r.GraphNodes, r.GraphEdges)
+	fmt.Fprintf(&b, "  growth: %d steps in %d MR rounds (max reducer input %d)\n",
+		r.GrowSteps, r.GrowRounds, r.MaxReducerIn)
+	fmt.Fprintf(&b, "  quotient: nC=%d mC=%d", r.QuotientNodes, r.QuotientEdges)
+	if r.SpannerEdges > 0 {
+		fmt.Fprintf(&b, " (sparsified to %d edges)", r.SpannerEdges)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  quotient diameter by repeated squaring: %d in %d rounds (reference %d)\n",
+		r.DiameterMR, r.SquaringRounds, r.DiameterRef)
+	return b.String()
+}

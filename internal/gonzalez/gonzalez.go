@@ -1,0 +1,84 @@
+// Package gonzalez implements the classical greedy farthest-first-traversal
+// 2-approximation for metric k-center (Gonzalez 1985, [13] in the paper),
+// specialized to the shortest-path metric of an unweighted graph. It is the
+// sequential quality baseline against which the paper's CLUSTER-based
+// k-center approximation is compared.
+//
+// Each of the k iterations runs one BFS, so the total cost is O(k·m) — fine
+// sequentially, but inherently Ω(k·∆)-round in a distributed setting, which
+// is exactly the gap the paper's algorithm closes.
+package gonzalez
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// KCenter returns k centers chosen by farthest-first traversal starting
+// from the given node, together with the exact resulting radius. On a
+// connected graph the radius is at most twice the optimum.
+//
+// If the graph is disconnected, farthest-first traversal naturally jumps
+// between components (unreachable nodes count as infinitely far); an error
+// is returned only if k is smaller than the number of components, in which
+// case the objective is unbounded.
+func KCenter(g *graph.Graph, k int, start graph.NodeID) ([]graph.NodeID, int32, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, 0, errors.New("gonzalez: empty graph")
+	}
+	if k < 1 {
+		return nil, 0, errors.New("gonzalez: k must be >= 1")
+	}
+	if k > n {
+		k = n
+	}
+	const unreached = int32(1<<31 - 1)
+	minDist := make([]int32, n)
+	for i := range minDist {
+		minDist[i] = unreached
+	}
+	scratch := make([]int32, n)
+	queue := make([]graph.NodeID, 0, n)
+
+	centers := make([]graph.NodeID, 0, k)
+	cur := start
+	for len(centers) < k {
+		centers = append(centers, cur)
+		for i := range scratch {
+			scratch[i] = -1
+		}
+		g.BFSInto(cur, scratch, queue)
+		for u := 0; u < n; u++ {
+			if scratch[u] >= 0 && scratch[u] < minDist[u] {
+				minDist[u] = scratch[u]
+			}
+		}
+		// Next center: the node farthest from the current center set,
+		// unreachable nodes (other components) first.
+		var far graph.NodeID
+		best := int32(-1)
+		for u := 0; u < n; u++ {
+			if minDist[u] > best {
+				best = minDist[u]
+				far = graph.NodeID(u)
+			}
+		}
+		if best == 0 {
+			break // every node is a center already
+		}
+		cur = far
+	}
+
+	var radius int32
+	for u := 0; u < n; u++ {
+		if minDist[u] == unreached {
+			return nil, 0, errors.New("gonzalez: k smaller than the number of components")
+		}
+		if minDist[u] > radius {
+			radius = minDist[u]
+		}
+	}
+	return centers, radius, nil
+}

@@ -1,0 +1,146 @@
+package gonzalez
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestKCenterPath(t *testing.T) {
+	// Optimal 2-center radius on P12 is 3 ([0..5] around 2/3, [6..11]).
+	g := graph.Path(12)
+	_, r, err := KCenter(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 6 { // 2-approximation of the optimum 3
+		t.Fatalf("radius %d exceeds 2x optimum", r)
+	}
+	if r < 3 {
+		t.Fatalf("radius %d below optimum 3 — objective miscomputed", r)
+	}
+}
+
+func TestKCenterKEqualsN(t *testing.T) {
+	g := graph.Cycle(6)
+	centers, r, err := KCenter(g, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("radius %d want 0 when every node is a center", r)
+	}
+	if len(centers) != 6 {
+		t.Fatalf("got %d centers want 6", len(centers))
+	}
+}
+
+func TestKCenterKGreaterThanN(t *testing.T) {
+	g := graph.Path(4)
+	_, r, err := KCenter(g, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("radius %d want 0", r)
+	}
+}
+
+func TestKCenterStopsEarlyWhenCovered(t *testing.T) {
+	g := graph.Star(10)
+	centers, r, err := KCenter(g, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1 {
+		t.Fatalf("radius %d want <= 1 on a star", r)
+	}
+	if len(centers) > 5 {
+		t.Fatal("too many centers")
+	}
+}
+
+func TestKCenterErrors(t *testing.T) {
+	if _, _, err := KCenter(graph.NewBuilder(0).Build(), 1, 0); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+	if _, _, err := KCenter(graph.Path(3), 0, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+}
+
+func TestKCenterDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	// k=3 suffices (one per component).
+	_, r, err := KCenter(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Fatalf("radius %d want 1", r)
+	}
+	// k=2 is infeasible.
+	if _, _, err := KCenter(g, 2, 0); err == nil {
+		t.Fatal("k below component count should fail")
+	}
+}
+
+func TestKCenterTwoApproxAgainstBruteForce(t *testing.T) {
+	// Exhaustively compute the optimal 2-center radius on a small random
+	// graph and verify the greedy radius is at most twice it.
+	g := graph.ErdosRenyi(18, 30, 5)
+	g, _ = g.LargestComponent()
+	n := g.NumNodes()
+	if n < 6 {
+		t.Skip("component too small")
+	}
+	dist := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		dist[u] = g.BFS(graph.NodeID(u))
+	}
+	opt := int32(1 << 30)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			var worst int32
+			for u := 0; u < n; u++ {
+				d := dist[a][u]
+				if dist[b][u] < d {
+					d = dist[b][u]
+				}
+				if d > worst {
+					worst = d
+				}
+			}
+			if worst < opt {
+				opt = worst
+			}
+		}
+	}
+	_, r, err := KCenter(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 2*opt {
+		t.Fatalf("greedy radius %d exceeds 2x optimum %d", r, opt)
+	}
+	if r < opt {
+		t.Fatalf("greedy radius %d below optimum %d — objective miscomputed", r, opt)
+	}
+}
+
+func TestKCenterMeshRadiusSane(t *testing.T) {
+	g := graph.Mesh(20, 20)
+	_, r, err := KCenter(g, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 centers on a 20x20 mesh: optimum is about 5 (4x4 tiling of 5x5
+	// blocks); the 2-approximation must be below 12.
+	if r > 12 {
+		t.Fatalf("radius %d too large", r)
+	}
+}

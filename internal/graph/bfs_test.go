@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := Path(6)
+	dist := g.BFS(0)
+	for i, d := range dist {
+		if d != int32(i) {
+			t.Fatalf("dist[%d]=%d want %d", i, d, i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}}) // nodes 2,3 isolated
+	dist := g.BFS(0)
+	if dist[2] != -1 || dist[3] != -1 {
+		t.Fatalf("unreachable nodes should be -1: %v", dist)
+	}
+}
+
+func TestEccentricityPath(t *testing.T) {
+	g := Path(10)
+	if e := g.Eccentricity(0); e != 9 {
+		t.Fatalf("ecc(0)=%d want 9", e)
+	}
+	if e := g.Eccentricity(5); e != 5 {
+		t.Fatalf("ecc(5)=%d want 5", e)
+	}
+}
+
+func TestTwoSweepLowerBound(t *testing.T) {
+	for _, g := range []*Graph{Path(50), Cycle(30), Mesh(8, 13), BarabasiAlbert(300, 3, 2)} {
+		diam := g.DiameterExhaustive()
+		_, lb := g.TwoSweep(0)
+		if lb > diam {
+			t.Fatalf("two-sweep bound %d exceeds diameter %d", lb, diam)
+		}
+		if lb*2 < diam {
+			t.Fatalf("two-sweep bound %d less than half diameter %d", lb, diam)
+		}
+	}
+}
+
+func TestMultiSourceBFSSingleSourceMatchesBFS(t *testing.T) {
+	g := randomConnectedGraph(t, 80, 120, 3)
+	want := g.BFS(5)
+	dist, owner := g.MultiSourceBFS([]NodeID{5})
+	for u := range want {
+		if dist[u] != want[u] {
+			t.Fatalf("dist[%d]=%d want %d", u, dist[u], want[u])
+		}
+		if owner[u] != 5 {
+			t.Fatalf("owner[%d]=%d want 5", u, owner[u])
+		}
+	}
+}
+
+func TestMultiSourceBFSNearestSource(t *testing.T) {
+	g := randomConnectedGraph(t, 120, 200, 9)
+	sources := []NodeID{3, 77, 101}
+	dist, owner := g.MultiSourceBFS(sources)
+	// dist must equal the min over per-source BFS distances; owner must
+	// attain it.
+	per := make([][]int32, len(sources))
+	for i, s := range sources {
+		per[i] = g.BFS(s)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		min := int32(1 << 30)
+		for i := range sources {
+			if per[i][u] >= 0 && per[i][u] < min {
+				min = per[i][u]
+			}
+		}
+		if dist[u] != min {
+			t.Fatalf("dist[%d]=%d want %d", u, dist[u], min)
+		}
+		found := false
+		for i, s := range sources {
+			if owner[u] == s && per[i][u] == min {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner[%d]=%d does not attain min distance", u, owner[u])
+		}
+	}
+}
+
+func TestMultiSourceBFSDuplicateSources(t *testing.T) {
+	g := Path(10)
+	dist, owner := g.MultiSourceBFS([]NodeID{0, 0, 0})
+	if dist[9] != 9 || owner[9] != 0 {
+		t.Fatalf("duplicate sources mishandled: dist=%d owner=%d", dist[9], owner[9])
+	}
+}
+
+func TestDiameterKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		want int32
+	}{
+		{"path10", Path(10), 9},
+		{"cycle9", Cycle(9), 4},
+		{"cycle10", Cycle(10), 5},
+		{"star", Star(20), 2},
+		{"complete", Complete(8), 1},
+		{"mesh", Mesh(7, 11), 6 + 10},
+		{"single", Path(1), 0},
+		{"binarytree15", BinaryTree(15), 6},
+	}
+	for _, c := range cases {
+		if got := c.g.DiameterExhaustive(); got != c.want {
+			t.Errorf("%s: exhaustive diameter %d want %d", c.name, got, c.want)
+		}
+		got, exact := c.g.ExactDiameter(0)
+		if !exact || got != c.want {
+			t.Errorf("%s: iFUB diameter (%d, %v) want (%d, true)", c.name, got, exact, c.want)
+		}
+	}
+}
+
+func TestExactDiameterMatchesExhaustiveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnectedGraph(t, 60, 90, seed)
+		want := g.DiameterExhaustive()
+		got, exact := g.ExactDiameter(0)
+		return exact && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactDiameterDisconnected(t *testing.T) {
+	// Two components: a path of 5 (diam 4) and a path of 8 (diam 7).
+	b := NewBuilder(13)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	for i := 5; i < 12; i++ {
+		b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	g := b.Build()
+	got, exact := g.ExactDiameter(0)
+	if !exact || got != 7 {
+		t.Fatalf("disconnected diameter (%d, %v) want (7, true)", got, exact)
+	}
+}
+
+func TestExactDiameterBudgetExhaustion(t *testing.T) {
+	g := Mesh(20, 20)
+	got, exact := g.ExactDiameter(2)
+	if exact {
+		t.Fatal("2 BFS runs cannot certify a mesh diameter")
+	}
+	if got > 38 {
+		t.Fatalf("lower bound %d exceeds true diameter 38", got)
+	}
+}
+
+func TestAllEccentricitiesAgainstBFS(t *testing.T) {
+	g := randomConnectedGraph(t, 50, 80, 11)
+	ecc := g.AllEccentricities()
+	for u := 0; u < g.NumNodes(); u++ {
+		if ecc[u] != g.Eccentricity(NodeID(u)) {
+			t.Fatalf("ecc mismatch at %d", u)
+		}
+	}
+}
+
+func BenchmarkBFSMesh(b *testing.B) {
+	g := Mesh(200, 200)
+	dist := make([]int32, g.NumNodes())
+	queue := make([]NodeID, 0, g.NumNodes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range dist {
+			dist[j] = -1
+		}
+		g.BFSInto(0, dist, queue)
+	}
+}
+
+func BenchmarkExactDiameterRoadLike(b *testing.B) {
+	g := RoadLike(120, 120, 0.4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ExactDiameter(0)
+	}
+}

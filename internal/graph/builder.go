@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces an immutable CSR Graph.
+// Self-loops are dropped and duplicate edges are merged; adjacency lists in
+// the resulting graph are strictly increasing.
+//
+// Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	pairs []uint64 // packed (min,max) node pairs
+}
+
+// NewBuilder returns a builder for a graph with n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// Grow raises the node count to at least n.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored.
+// Endpoints must be in [0, n).
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range n=%d", u, v, b.n))
+	}
+	b.pairs = append(b.pairs, packPair(u, v))
+}
+
+// Build produces the CSR graph. The builder remains usable afterwards
+// (further edges may be added and Build called again).
+func (b *Builder) Build() *Graph {
+	pairs := make([]uint64, len(b.pairs))
+	copy(pairs, b.pairs)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i] < pairs[j] })
+	// Deduplicate.
+	uniq := pairs[:0]
+	var last uint64
+	for i, p := range pairs {
+		if i == 0 || p != last {
+			uniq = append(uniq, p)
+			last = p
+		}
+	}
+	pairs = uniq
+
+	n := b.n
+	deg := make([]int64, n+1)
+	for _, p := range pairs {
+		u, v := unpackPair(p)
+		deg[u+1]++
+		deg[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	xadj := deg
+	adj := make([]NodeID, 2*len(pairs))
+	cursor := make([]int64, n)
+	for i := range cursor {
+		cursor[i] = xadj[i]
+	}
+	for _, p := range pairs {
+		u, v := unpackPair(p)
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+	// Each adjacency list must be sorted. Arcs (u, v) with fixed u were
+	// appended in increasing v order only for the "min" endpoints; the
+	// reverse arcs interleave, so sort each list (cheap: lists are short on
+	// average and already mostly ordered).
+	g := &Graph{xadj: xadj, adj: adj}
+	for u := 0; u < n; u++ {
+		lo, hi := xadj[u], xadj[u+1]
+		list := adj[lo:hi]
+		if !sort.SliceIsSorted(list, func(i, j int) bool { return list[i] < list[j] }) {
+			sort.Slice(list, func(i, j int) bool { return list[i] < list[j] })
+		}
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes from the given undirected edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromAdjacency builds a graph from an adjacency-list description,
+// symmetrizing as needed (an arc in either direction yields the edge).
+func FromAdjacency(lists [][]NodeID) *Graph {
+	b := NewBuilder(len(lists))
+	for u, list := range lists {
+		for _, v := range list {
+			b.AddEdge(NodeID(u), v)
+		}
+	}
+	return b.Build()
+}

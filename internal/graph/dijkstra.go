@@ -1,0 +1,184 @@
+package graph
+
+import "container/heap"
+
+// Weighted is an undirected graph with positive integer edge weights in CSR
+// form. It is used for the weighted quotient graphs of Section 4, where the
+// weight of a quotient edge is the length of a shortest path in G between
+// the two clusters.
+type Weighted struct {
+	xadj []int64
+	adj  []NodeID
+	w    []int32
+}
+
+// NewWeighted builds a weighted graph with n nodes from parallel edge and
+// weight lists. Duplicate edges keep the minimum weight; self-loops are
+// dropped. Weights must be positive.
+func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
+	if len(edges) != len(weights) {
+		panic("graph: edges/weights length mismatch")
+	}
+	min := make(map[uint64]int32, len(edges))
+	for i, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		if weights[i] <= 0 {
+			panic("graph: non-positive edge weight")
+		}
+		key := packPair(e[0], e[1])
+		if cur, ok := min[key]; !ok || weights[i] < cur {
+			min[key] = weights[i]
+		}
+	}
+	deg := make([]int64, n+1)
+	for key := range min {
+		u, v := unpackPair(key)
+		deg[u+1]++
+		deg[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	wg := &Weighted{
+		xadj: deg,
+		adj:  make([]NodeID, 2*len(min)),
+		w:    make([]int32, 2*len(min)),
+	}
+	cursor := make([]int64, n)
+	for i := range cursor {
+		cursor[i] = wg.xadj[i]
+	}
+	for key, wt := range min {
+		u, v := unpackPair(key)
+		wg.adj[cursor[u]], wg.w[cursor[u]] = v, wt
+		cursor[u]++
+		wg.adj[cursor[v]], wg.w[cursor[v]] = u, wt
+		cursor[v]++
+	}
+	return wg
+}
+
+// NumNodes returns the number of nodes.
+func (g *Weighted) NumNodes() int {
+	if len(g.xadj) == 0 {
+		return 0
+	}
+	return len(g.xadj) - 1
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Weighted) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of u.
+func (g *Weighted) Degree(u NodeID) int { return int(g.xadj[u+1] - g.xadj[u]) }
+
+// Neighbors returns u's neighbors and the corresponding edge weights.
+// Both slices alias internal storage and must not be modified.
+func (g *Weighted) Neighbors(u NodeID) ([]NodeID, []int32) {
+	return g.adj[g.xadj[u]:g.xadj[u+1]], g.w[g.xadj[u]:g.xadj[u+1]]
+}
+
+// Unweighted returns the same topology with all weights discarded.
+func (g *Weighted) Unweighted() *Graph {
+	b := NewBuilder(g.NumNodes())
+	for u := NodeID(0); u < NodeID(g.NumNodes()); u++ {
+		nbrs, _ := g.Neighbors(u)
+		for _, v := range nbrs {
+			if u < v {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// InfDist marks unreachable nodes in weighted distance arrays.
+const InfDist int64 = 1 << 62
+
+type heapItem struct {
+	node NodeID
+	dist int64
+}
+
+type distHeap []heapItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest path distances from src.
+// Unreachable nodes get InfDist.
+func (g *Weighted) Dijkstra(src NodeID) []int64 {
+	dist := make([]int64, g.NumNodes())
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	g.DijkstraInto(src, dist)
+	return dist
+}
+
+// DijkstraInto runs Dijkstra from src into caller storage (pre-filled with
+// InfDist) and returns the weighted eccentricity of src within its
+// component (0 if src is isolated).
+func (g *Weighted) DijkstraInto(src NodeID, dist []int64) int64 {
+	h := make(distHeap, 0, 64)
+	dist[src] = 0
+	heap.Push(&h, heapItem{src, 0})
+	var ecc int64
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(heapItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		if it.dist > ecc {
+			ecc = it.dist
+		}
+		nbrs, ws := g.Neighbors(it.node)
+		for i, v := range nbrs {
+			nd := it.dist + int64(ws[i])
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&h, heapItem{v, nd})
+			}
+		}
+	}
+	return ecc
+}
+
+// WeightedEccentricity returns the maximum weighted distance from src to
+// any reachable node.
+func (g *Weighted) WeightedEccentricity(src NodeID) int64 {
+	dist := make([]int64, g.NumNodes())
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	return g.DijkstraInto(src, dist)
+}
+
+// DiameterExhaustiveWeighted computes the exact weighted diameter by
+// running Dijkstra from every node. O(n·m log n): for small graphs; use
+// ExactDiameterWeighted for larger ones.
+func (g *Weighted) DiameterExhaustiveWeighted() int64 {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	var diam int64
+	for u := 0; u < n; u++ {
+		for i := range dist {
+			dist[i] = InfDist
+		}
+		if e := g.DijkstraInto(NodeID(u), dist); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}

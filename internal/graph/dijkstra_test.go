@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func unitWeighted(g *Graph) *Weighted {
+	edges := g.EdgeList()
+	w := make([]int32, len(edges))
+	for i := range w {
+		w[i] = 1
+	}
+	return NewWeighted(g.NumNodes(), edges, w)
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := randomConnectedGraph(t, 60, 100, seed)
+		wg := unitWeighted(g)
+		src := NodeID(int(seed % 60))
+		bfs := g.BFS(src)
+		dij := wg.Dijkstra(src)
+		for u := range bfs {
+			if int64(bfs[u]) != dij[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraWeightedPath(t *testing.T) {
+	// 0 -5- 1 -2- 2 -7- 3
+	wg := NewWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
+	dist := wg.Dijkstra(0)
+	want := []int64{0, 5, 7, 14}
+	for u, d := range want {
+		if dist[u] != d {
+			t.Fatalf("dist[%d]=%d want %d", u, dist[u], d)
+		}
+	}
+}
+
+func TestDijkstraPrefersLightPath(t *testing.T) {
+	// Direct heavy edge 0-2 (10) vs light detour 0-1-2 (2+3).
+	wg := NewWeighted(3, [][2]NodeID{{0, 2}, {0, 1}, {1, 2}}, []int32{10, 2, 3})
+	dist := wg.Dijkstra(0)
+	if dist[2] != 5 {
+		t.Fatalf("dist[2]=%d want 5", dist[2])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	wg := NewWeighted(3, [][2]NodeID{{0, 1}}, []int32{4})
+	dist := wg.Dijkstra(0)
+	if dist[2] != InfDist {
+		t.Fatalf("unreachable node should be InfDist, got %d", dist[2])
+	}
+}
+
+func TestNewWeightedKeepsMinimumDuplicate(t *testing.T) {
+	wg := NewWeighted(2, [][2]NodeID{{0, 1}, {1, 0}, {0, 1}}, []int32{9, 4, 6})
+	if wg.NumEdges() != 1 {
+		t.Fatalf("m=%d want 1", wg.NumEdges())
+	}
+	if d := wg.Dijkstra(0)[1]; d != 4 {
+		t.Fatalf("kept weight %d want 4", d)
+	}
+}
+
+func TestWeightedUnweightedRoundTrip(t *testing.T) {
+	g := Mesh(6, 6)
+	wg := unitWeighted(g)
+	g2 := wg.Unweighted()
+	if g2.NumEdges() != g.NumEdges() || g2.NumNodes() != g.NumNodes() {
+		t.Fatal("round trip changed graph size")
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactDiameterWeightedMatchesExhaustive(t *testing.T) {
+	r := rng.New(17)
+	for trial := 0; trial < 15; trial++ {
+		g := randomConnectedGraph(t, 40, 70, uint64(trial))
+		edges := g.EdgeList()
+		w := make([]int32, len(edges))
+		for i := range w {
+			w[i] = int32(1 + r.Intn(9))
+		}
+		wg := NewWeighted(g.NumNodes(), edges, w)
+		want := wg.DiameterExhaustiveWeighted()
+		got, exact := wg.ExactDiameterWeighted(0)
+		if !exact || got != want {
+			t.Fatalf("trial %d: weighted iFUB (%d,%v) want (%d,true)", trial, got, exact, want)
+		}
+	}
+}
+
+func TestExactDiameterWeightedUnitMatchesUnweighted(t *testing.T) {
+	g := RoadLike(20, 20, 0.4, 2)
+	wg := unitWeighted(g)
+	want, _ := g.ExactDiameter(0)
+	got, exact := wg.ExactDiameterWeighted(0)
+	if !exact || got != int64(want) {
+		t.Fatalf("unit weighted diameter (%d,%v) want (%d,true)", got, exact, want)
+	}
+}
+
+func TestWeightedEccentricity(t *testing.T) {
+	wg := NewWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
+	if e := wg.WeightedEccentricity(0); e != 14 {
+		t.Fatalf("ecc=%d want 14", e)
+	}
+	if e := wg.WeightedEccentricity(2); e != 7 {
+		t.Fatalf("ecc=%d want 7", e)
+	}
+}

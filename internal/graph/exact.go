@@ -1,0 +1,392 @@
+package graph
+
+import "sort"
+
+// Exact diameter computation via the iFUB (iterative Fringe Upper Bound)
+// method of Crescenzi et al. [10 in the paper]. iFUB computes the exact
+// diameter of an unweighted connected graph using, in practice, far fewer
+// BFS runs than full APSP: pick a root r (here via a double sweep), and
+// scan nodes in decreasing distance from r; the eccentricity of the nodes
+// at level i, plus the bound 2i for everything below, pinch the diameter.
+//
+// The weighted analogue (Dijkstra in place of BFS, used for quotient
+// graphs) follows the same scheme.
+
+// ExactDiameter computes the exact diameter of the graph. On a
+// disconnected graph it returns the maximum diameter over components.
+// maxBFS bounds the number of BFS runs (0 means unlimited); if the bound is
+// hit, the result is the best lower bound found and exact is false.
+func (g *Graph) ExactDiameter(maxBFS int) (diam int32, exact bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, true
+	}
+	labels, k := g.ConnectedComponents()
+	if k > 1 {
+		// Handle each component independently.
+		exact = true
+		for c := 0; c < k; c++ {
+			cc := int32(c)
+			sub, _ := g.inducedSubgraph(func(u NodeID) bool { return labels[u] == cc }, 0)
+			d, ex := sub.ExactDiameter(maxBFS)
+			if d > diam {
+				diam = d
+			}
+			exact = exact && ex
+		}
+		return diam, exact
+	}
+	return g.ifub(maxBFS)
+}
+
+func (g *Graph) ifub(maxBFS int) (int32, bool) {
+	n := g.NumNodes()
+	budget := maxBFS
+	spend := func() bool {
+		if maxBFS == 0 {
+			return true
+		}
+		if budget == 0 {
+			return false
+		}
+		budget--
+		return true
+	}
+
+	dist := make([]int32, n)
+	queue := make([]NodeID, 0, n)
+	reset := func() {
+		for i := range dist {
+			dist[i] = -1
+		}
+	}
+
+	// Root selection by the 4-sweep scheme (Crescenzi et al.): two double
+	// sweeps yield two far-apart extremes a and c; the root minimizing
+	// max(dist_a, dist_c) sits "between" them, which keeps the level
+	// distribution shallow. A naive midpoint walk can land on a corner of a
+	// grid-like graph (e.g. walking the boundary of a mesh), leaving half
+	// the nodes above the pruning level; the argmin-of-max root avoids
+	// exactly that failure mode.
+	_, start := g.MaxDegree()
+	if !spend() {
+		return 0, false
+	}
+	reset()
+	g.BFSInto(start, dist, queue)
+	a := argMax32(dist)
+	if !spend() {
+		return 0, false
+	}
+	distA := make([]int32, n)
+	for i := range distA {
+		distA[i] = -1
+	}
+	eccA := g.BFSInto(a, distA, queue)
+	b := argMax32(distA)
+	lower := eccA
+
+	// First midpoint: walk back from b toward a.
+	r1 := b
+	for step := int32(0); step < eccA/2; step++ {
+		for _, w := range g.Neighbors(r1) {
+			if distA[w] == distA[r1]-1 {
+				r1 = w
+				break
+			}
+		}
+	}
+	if !spend() {
+		return lower, false
+	}
+	reset()
+	eccR1 := g.BFSInto(r1, dist, queue)
+	if eccR1 > lower {
+		lower = eccR1
+	}
+	c := argMax32(dist)
+	if !spend() {
+		return lower, false
+	}
+	distC := make([]int32, n)
+	for i := range distC {
+		distC[i] = -1
+	}
+	eccC := g.BFSInto(c, distC, queue)
+	if eccC > lower {
+		lower = eccC
+	}
+
+	// Third reference: b itself (one more BFS). On grid-like graphs a and c
+	// can end up on the same side (two corners of one row), in which case
+	// argmin-max over just the two still lands on the boundary; adding b
+	// pins the root to the true center.
+	if !spend() {
+		return lower, false
+	}
+	distB := make([]int32, n)
+	for i := range distB {
+		distB[i] = -1
+	}
+	if e := g.BFSInto(b, distB, queue); e > lower {
+		lower = e
+	}
+
+	// Root: the node minimizing max(dist_a, dist_b, dist_c).
+	r := NodeID(0)
+	best := int32(1<<31 - 1)
+	for u := 0; u < n; u++ {
+		da, db, dc := distA[u], distB[u], distC[u]
+		if da < 0 || db < 0 || dc < 0 {
+			continue
+		}
+		m := da
+		if db > m {
+			m = db
+		}
+		if dc > m {
+			m = dc
+		}
+		if m < best {
+			best, r = m, NodeID(u)
+		}
+	}
+
+	if !spend() {
+		return lower, false
+	}
+	reset()
+	eccR := g.BFSInto(r, dist, queue)
+	if eccR > lower {
+		lower = eccR
+	}
+
+	// Order nodes by decreasing distance from r.
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	distR := make([]int32, n)
+	copy(distR, dist)
+	sort.Slice(order, func(i, j int) bool { return distR[order[i]] > distR[order[j]] })
+
+	// iFUB main loop: while 2*level > lower bound, sweep the level.
+	i := 0
+	for i < n {
+		level := distR[order[i]]
+		if 2*level <= lower {
+			return lower, true
+		}
+		for i < n && distR[order[i]] == level {
+			u := order[i]
+			i++
+			if !spend() {
+				return lower, false
+			}
+			reset()
+			ecc := g.BFSInto(u, dist, queue)
+			if ecc > lower {
+				lower = ecc
+				if 2*level <= lower {
+					return lower, true
+				}
+			}
+		}
+	}
+	return lower, true
+}
+
+func argMax32(dist []int32) NodeID {
+	best, arg := int32(-1), NodeID(0)
+	for u, d := range dist {
+		if d > best {
+			best, arg = d, NodeID(u)
+		}
+	}
+	return arg
+}
+
+func argMax64(dist []int64) NodeID {
+	best, arg := int64(-1), NodeID(0)
+	for u, d := range dist {
+		if d != InfDist && d > best {
+			best, arg = d, NodeID(u)
+		}
+	}
+	return arg
+}
+
+// ExactDiameterWeighted computes the exact weighted diameter of a connected
+// weighted graph via the iFUB scheme with Dijkstra searches. maxSearches
+// bounds the number of Dijkstra runs (0 = unlimited); if exhausted, the
+// returned value is a lower bound and exact is false. Disconnected graphs
+// return the max over components (unreachable pairs are ignored).
+func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact bool) {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, true
+	}
+	budget := maxSearches
+	spend := func() bool {
+		if maxSearches == 0 {
+			return true
+		}
+		if budget == 0 {
+			return false
+		}
+		budget--
+		return true
+	}
+	dist := make([]int64, n)
+	reset := func() {
+		for i := range dist {
+			dist[i] = InfDist
+		}
+	}
+	argMax := func() NodeID {
+		best, arg := int64(-1), NodeID(0)
+		for u, d := range dist {
+			if d != InfDist && d > best {
+				best, arg = d, NodeID(u)
+			}
+		}
+		return arg
+	}
+
+	// 4-sweep root selection, mirroring the unweighted variant: two double
+	// sweeps yield far extremes a and c; the root minimizes max(d_a, d_c),
+	// avoiding the grid-corner failure of a naive midpoint walk.
+	if !spend() {
+		return 0, false
+	}
+	reset()
+	g.DijkstraInto(0, dist)
+	a := argMax()
+	if !spend() {
+		return 0, false
+	}
+	distA := make([]int64, n)
+	for i := range distA {
+		distA[i] = InfDist
+	}
+	lower := g.DijkstraInto(a, distA)
+	b := argMax64(distA)
+
+	// First midpoint: walk back from b toward a along the shortest path.
+	r1 := b
+	half := distA[b] / 2
+	for distA[r1] > half {
+		moved := false
+		nbrs, ws := g.Neighbors(r1)
+		for i, w := range nbrs {
+			if distA[w] != InfDist && distA[w]+int64(ws[i]) == distA[r1] {
+				r1 = w
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	if !spend() {
+		return lower, false
+	}
+	reset()
+	if e := g.DijkstraInto(r1, dist); e > lower {
+		lower = e
+	}
+	c := argMax()
+	if !spend() {
+		return lower, false
+	}
+	distC := make([]int64, n)
+	for i := range distC {
+		distC[i] = InfDist
+	}
+	if e := g.DijkstraInto(c, distC); e > lower {
+		lower = e
+	}
+
+	if !spend() {
+		return lower, false
+	}
+	distB := make([]int64, n)
+	for i := range distB {
+		distB[i] = InfDist
+	}
+	if e := g.DijkstraInto(b, distB); e > lower {
+		lower = e
+	}
+
+	r := NodeID(0)
+	best := InfDist
+	for u := 0; u < n; u++ {
+		da, db, dc := distA[u], distB[u], distC[u]
+		if da == InfDist || db == InfDist || dc == InfDist {
+			continue
+		}
+		m := da
+		if db > m {
+			m = db
+		}
+		if dc > m {
+			m = dc
+		}
+		if m < best {
+			best, r = m, NodeID(u)
+		}
+	}
+
+	if !spend() {
+		return lower, false
+	}
+	reset()
+	if e := g.DijkstraInto(r, dist); e > lower {
+		lower = e
+	}
+	distR := make([]int64, n)
+	copy(distR, dist)
+	order := make([]NodeID, n)
+	for i := range order {
+		order[i] = NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool { return distR[order[i]] > distR[order[j]] })
+
+	i := 0
+	for i < n {
+		level := distR[order[i]]
+		if level == InfDist {
+			// Node unreachable from r (other component): compute its
+			// eccentricity directly, it cannot be pruned by the bound.
+			u := order[i]
+			i++
+			if !spend() {
+				return lower, false
+			}
+			reset()
+			if e := g.DijkstraInto(u, dist); e > lower {
+				lower = e
+			}
+			continue
+		}
+		if 2*level <= lower {
+			return lower, true
+		}
+		for i < n && distR[order[i]] == level {
+			u := order[i]
+			i++
+			if !spend() {
+				return lower, false
+			}
+			reset()
+			if e := g.DijkstraInto(u, dist); e > lower {
+				lower = e
+				if 2*level <= lower {
+					return lower, true
+				}
+			}
+		}
+	}
+	return lower, true
+}

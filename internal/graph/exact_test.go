@@ -1,0 +1,73 @@
+package graph
+
+import "testing"
+
+// Regression: the original double-sweep midpoint walk could land on a grid
+// corner (walking a boundary geodesic), making iFUB scan half the mesh.
+// The 4-sweep root (argmin of max distance to three extremes) must certify
+// grid-like graphs within a handful of searches.
+
+func TestExactDiameterMeshSmallBudget(t *testing.T) {
+	g := Mesh(120, 120)
+	d, exact := g.ExactDiameter(64)
+	if !exact {
+		t.Fatal("mesh not certified within 64 BFS — root selection regressed")
+	}
+	if d != 238 {
+		t.Fatalf("mesh diameter %d want 238", d)
+	}
+}
+
+func TestExactDiameterRoadSmallBudget(t *testing.T) {
+	g := RoadLike(80, 80, 0.4, 103)
+	d, exact := g.ExactDiameter(1024)
+	if !exact {
+		t.Fatal("road-like graph not certified within 1024 BFS")
+	}
+	if want := g.DiameterExhaustive(); d != want {
+		t.Fatalf("diameter %d want %d", d, want)
+	}
+}
+
+func TestExactDiameterWeightedMeshSmallBudget(t *testing.T) {
+	g := Mesh(60, 60)
+	wg := unitWeighted(g)
+	d, exact := wg.ExactDiameterWeighted(64)
+	if !exact {
+		t.Fatal("weighted mesh not certified within 64 searches")
+	}
+	if d != 118 {
+		t.Fatalf("weighted mesh diameter %d want 118", d)
+	}
+}
+
+func TestExactDiameterRectangularMesh(t *testing.T) {
+	// Extremely skewed aspect ratio stresses the root selection.
+	g := Mesh(200, 5)
+	d, exact := g.ExactDiameter(64)
+	if !exact || d != 203 {
+		t.Fatalf("got (%d, %v) want (203, true)", d, exact)
+	}
+}
+
+func TestExactDiameterCycleSmallBudget(t *testing.T) {
+	// On a cycle every node is equivalent; lower = ecc = n/2 and all nodes
+	// sit at levels <= n/4 from the root... they do not: levels reach n/2.
+	// iFUB still certifies after one level because ecc == lower everywhere.
+	g := Cycle(200)
+	d, exact := g.ExactDiameter(0)
+	if !exact || d != 100 {
+		t.Fatalf("cycle: got (%d, %v) want (100, true)", d, exact)
+	}
+}
+
+func TestExactDiameterStarAndComplete(t *testing.T) {
+	if d, exact := Star(50).ExactDiameter(16); !exact || d != 2 {
+		t.Fatalf("star: (%d, %v)", d, exact)
+	}
+	// K_n is iFUB's worst case: every node sits at level 1 and the level
+	// bound 2 exceeds the diameter 1, so all n nodes must be swept.
+	if d, exact := Complete(30).ExactDiameter(64); !exact || d != 1 {
+		t.Fatalf("complete: (%d, %v)", d, exact)
+	}
+}

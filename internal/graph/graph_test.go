@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 0)
+	g := b.Build()
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for u := NodeID(0); u < 4; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("degree(%d)=%d want 2", u, g.Degree(u))
+		}
+	}
+}
+
+func TestBuilderDeduplicatesAndDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate in reverse direction
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("m=%d want 1", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("self loop kept: degree(2)=%d", g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}})
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{{0, 1, true}, {1, 0, true}, {1, 2, true}, {0, 2, false}, {3, 0, false}}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d)=%v want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := FromEdges(5, [][2]NodeID{{2, 4}, {2, 0}, {2, 3}, {2, 1}})
+	nbrs := g.Neighbors(2)
+	if !sort.SliceIsSorted(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] }) {
+		t.Fatalf("adjacency not sorted: %v", nbrs)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := BarabasiAlbert(200, 3, 1)
+	edges := g.EdgeList()
+	if len(edges) != g.NumEdges() {
+		t.Fatalf("edge list length %d want %d", len(edges), g.NumEdges())
+	}
+	g2 := FromEdges(g.NumNodes(), edges)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("rebuild changed edge count")
+	}
+	for u := NodeID(0); u < NodeID(g.NumNodes()); u++ {
+		if g.Degree(u) != g2.Degree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+	}
+}
+
+func TestFromAdjacencySymmetrizes(t *testing.T) {
+	g := FromAdjacency([][]NodeID{{1, 2}, {}, {}})
+	if !g.HasEdge(1, 0) || !g.HasEdge(2, 0) {
+		t.Fatal("adjacency not symmetrized")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	g := Star(10)
+	d, u := g.MaxDegree()
+	if d != 9 || u != 0 {
+		t.Fatalf("MaxDegree = (%d, %d), want (9, 0)", d, u)
+	}
+}
+
+func TestValidatePropertyRandomGraphs(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := ErdosRenyi(50, 120, seed)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := Mesh(5, 5)
+	seen := map[[2]NodeID]int{}
+	g.Edges(func(u, v NodeID) bool {
+		if u >= v {
+			t.Fatalf("Edges yielded non-canonical pair (%d,%d)", u, v)
+		}
+		seen[[2]NodeID{u, v}]++
+		return true
+	})
+	if len(seen) != g.NumEdges() {
+		t.Fatalf("visited %d edges want %d", len(seen), g.NumEdges())
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Fatalf("edge %v visited %d times", e, c)
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := Complete(10)
+	count := 0
+	g.Edges(func(u, v NodeID) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+// --- Random graph helpers shared by other tests in this package ---
+
+func randomConnectedGraph(t *testing.T, n, m int, seed uint64) *Graph {
+	t.Helper()
+	g := ErdosRenyi(n, m, seed)
+	// Connect with a random spanning path through all nodes.
+	b := NewBuilder(n)
+	g.Edges(func(u, v NodeID) bool { b.AddEdge(u, v); return true })
+	perm := rng.New(seed ^ 0xabcdef).Perm(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(NodeID(perm[i]), NodeID(perm[i+1]))
+	}
+	return b.Build()
+}
+
+func TestRandomConnectedGraphHelper(t *testing.T) {
+	g := randomConnectedGraph(t, 100, 50, 7)
+	if !g.IsConnected() {
+		t.Fatal("helper produced disconnected graph")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

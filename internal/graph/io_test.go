@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListWriteReadRoundTrip(t *testing.T) {
+	g := BarabasiAlbert(300, 3, 6)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip: n=%d->%d m=%d->%d",
+			g.NumNodes(), g2.NumNodes(), g.NumEdges(), g2.NumEdges())
+	}
+	for u := NodeID(0); u < NodeID(g.NumNodes()); u++ {
+		if g.Degree(u) != g2.Degree(u) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+	}
+}
+
+func TestReadEdgeListComments(t *testing.T) {
+	in := "# a comment\n0 1\n\n# another\n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListHeaderFixesNodeCount(t *testing.T) {
+	in := "# nodes: 10 edges: 1\n0 1\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("n=%d want 10 (isolated nodes preserved)", g.NumNodes())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{"0\n", "a b\n", "-1 2\n"} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestSaveLoadEdgeList(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	g := Mesh(9, 4)
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatal("save/load mismatch")
+	}
+}
+
+func TestLoadEdgeListMissingFile(t *testing.T) {
+	if _, err := LoadEdgeList(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := Star(11)
+	s := Summarize(g)
+	if s.Nodes != 11 || s.Edges != 10 || s.MaxDegree != 10 || s.MinDegree != 1 || s.Components != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.AvgDegree < 1.8 || s.AvgDegree > 1.82 {
+		t.Fatalf("avg degree %v", s.AvgDegree)
+	}
+	if !strings.Contains(s.String(), "n=11") {
+		t.Fatal("String() missing node count")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := Star(5) // one hub of degree 4, four leaves of degree 1
+	deg, cnt := DegreeHistogram(g)
+	if len(deg) != 2 || deg[0] != 1 || deg[1] != 4 || cnt[0] != 4 || cnt[1] != 1 {
+		t.Fatalf("histogram deg=%v cnt=%v", deg, cnt)
+	}
+}

@@ -1,0 +1,54 @@
+package graph
+
+import "testing"
+
+func TestWattsStrogatzLatticeDiameter(t *testing.T) {
+	// beta=0: pure ring lattice with k=4 has diameter ~ n/4.
+	g := WattsStrogatz(200, 4, 0, 1)
+	if !g.IsConnected() {
+		t.Fatal("lattice disconnected")
+	}
+	d, exact := g.ExactDiameter(0)
+	if !exact || d != 50 {
+		t.Fatalf("ring lattice diameter (%d, %v) want (50, true)", d, exact)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWattsStrogatzRewiringShrinksDiameter(t *testing.T) {
+	lattice := WattsStrogatz(800, 4, 0, 2)
+	small := WattsStrogatz(800, 4, 0.2, 2)
+	small, _ = small.LargestComponent()
+	dl, _ := lattice.ExactDiameter(0)
+	ds, _ := small.ExactDiameter(0)
+	if ds*3 >= dl {
+		t.Fatalf("rewiring did not shrink the diameter: %d -> %d", dl, ds)
+	}
+}
+
+func TestWattsStrogatzDeterministic(t *testing.T) {
+	a := WattsStrogatz(300, 6, 0.1, 9)
+	b := WattsStrogatz(300, 6, 0.1, 9)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WattsStrogatz(10, 3, 0, 1) },   // odd k
+		func() { WattsStrogatz(4, 4, 0, 1) },    // n <= k
+		func() { WattsStrogatz(10, 0, 0.5, 1) }, // k < 2
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,105 @@
+package mr
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Cluster runs the complete CLUSTER(τ) algorithm on the MR simulator,
+// end-to-end: center selection is an MR round over the uncovered node set
+// (each node flips its hash-based coin), and every growing step is a
+// GrowStep round over the edge set. Together with Lemma 3 this validates
+// the paper's Section 5 claim that the whole decomposition costs O(R)
+// rounds when ML = Ω(nᵋ): the engine's round counter reports exactly the
+// R growth rounds plus one selection round per batch.
+//
+// The coin flips match core.Cluster's (same seed derivation), so the batch
+// structure is comparable across the shared-memory, distributed-memory and
+// MR implementations. Cluster returns the final state and the number of
+// batches.
+func (e *Engine) Cluster(g *graph.Graph, tau int, seed uint64) (*GrowState, int, error) {
+	if tau < 1 {
+		return nil, 0, errors.New("mr: Cluster requires tau >= 1")
+	}
+	n := g.NumNodes()
+	s := NewGrowState(n, nil)
+	logn := 1.0
+	if n >= 2 {
+		logn = math.Log2(float64(n))
+	}
+	threshold := 8 * float64(tau) * logn
+	coinSeed := rng.Mix64(seed, 0xc105_7e12, uint64(tau))
+
+	covered := 0
+	centers := int64(0)
+	addCenter := func(u graph.NodeID) {
+		s.Owner[u] = centers
+		s.Dist[u] = 0
+		s.Frontier = append(s.Frontier, u)
+		centers++
+		covered++
+	}
+
+	batches := 0
+	for float64(n-covered) >= threshold {
+		uncovered := n - covered
+		p := 4 * float64(tau) * logn / float64(uncovered)
+		// Selection round: each uncovered node is its own key group and
+		// emits itself if its coin wins.
+		in := make([]Pair, 0, uncovered)
+		for u := 0; u < n; u++ {
+			if s.Owner[u] == -1 {
+				in = append(in, Pair{Key: uint64(u)})
+			}
+		}
+		batch := uint64(batches)
+		out, err := e.Round(in, func(key uint64, _ []Pair, emit Emitter) {
+			if rng.Coin(p, coinSeed, batch, key) {
+				emit(Pair{Key: key})
+			}
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		selected := len(out)
+		for _, pr := range out {
+			addCenter(graph.NodeID(pr.Key))
+		}
+		if selected == 0 && len(s.Frontier) == 0 {
+			for u := 0; u < n; u++ {
+				if s.Owner[u] == -1 {
+					addCenter(graph.NodeID(u))
+					selected++
+					break
+				}
+			}
+		}
+		batches++
+
+		target := (uncovered + 1) / 2
+		claimed := selected
+		for claimed < target {
+			got, err := e.GrowStep(g, s)
+			if err != nil {
+				return nil, 0, err
+			}
+			if got == 0 {
+				break
+			}
+			claimed += got
+			covered += got
+		}
+	}
+	for u := 0; u < n; u++ {
+		if s.Owner[u] == -1 {
+			s.Owner[u] = centers
+			s.Dist[u] = 0
+			centers++
+			covered++
+		}
+	}
+	return s, batches, nil
+}

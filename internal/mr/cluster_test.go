@@ -1,0 +1,119 @@
+package mr
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestMRClusterMatchesCoreStructure(t *testing.T) {
+	g := graph.Mesh(25, 25)
+	seed := uint64(11)
+	ref, err := core.Cluster(g, 4, core.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Config{})
+	s, batches, err := e.Cluster(g, 4, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != ref.Batches {
+		t.Fatalf("MR batches %d vs core %d", batches, ref.Batches)
+	}
+	// Count clusters.
+	max := int64(-1)
+	for _, o := range s.Owner {
+		if o < 0 {
+			t.Fatal("uncovered node after MR CLUSTER")
+		}
+		if o > max {
+			max = o
+		}
+	}
+	if int(max+1) != ref.NumClusters() {
+		t.Fatalf("MR clusters %d vs core %d", max+1, ref.NumClusters())
+	}
+}
+
+func TestMRClusterPartitionConsistent(t *testing.T) {
+	g := graph.RoadLike(18, 18, 0.4, 3)
+	e := NewEngine(Config{})
+	s, _, err := e.Cluster(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every non-center node must have a same-cluster neighbor one step
+	// closer (growth-tree consistency).
+	for u := 0; u < g.NumNodes(); u++ {
+		if s.Dist[u] == 0 {
+			continue
+		}
+		ok := false
+		for _, v := range g.Neighbors(graph.NodeID(u)) {
+			if s.Owner[v] == s.Owner[u] && s.Dist[v] == s.Dist[u]-1 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("node %d (cluster %d, dist %d) has no predecessor", u, s.Owner[u], s.Dist[u])
+		}
+	}
+}
+
+func TestMRClusterRoundsLinearInGrowthSteps(t *testing.T) {
+	// Section 5 / Lemma 3: with ML = Ω(nᵋ) the whole decomposition takes
+	// O(R) rounds. Our simulator charges one round per growth step plus one
+	// selection round per batch.
+	g := graph.Mesh(20, 20)
+	e := NewEngine(Config{})
+	_, batches, err := e.Cluster(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := e.Rounds()
+	if rounds > 4*batches+200 {
+		t.Fatalf("rounds=%d implausibly large for %d batches", rounds, batches)
+	}
+	if rounds < batches {
+		t.Fatalf("rounds=%d below batch count %d", rounds, batches)
+	}
+}
+
+func TestMRClusterRespectsML(t *testing.T) {
+	// A tiny ML must trip on the contended-node groups during growth.
+	g := graph.Star(50)
+	e := NewEngine(Config{ML: 1})
+	// The hub receives many simultaneous proposals in one round; with
+	// tau=1 on a 50-node star the algorithm may finish before any group
+	// exceeds 1... use a tighter construction: grow from all leaves.
+	s := NewGrowState(g.NumNodes(), []graph.NodeID{1, 2, 3})
+	if _, err := e.GrowStep(g, s); err == nil {
+		t.Fatal("three proposals for the hub must exceed ML=1")
+	}
+}
+
+func TestMRClusterErrors(t *testing.T) {
+	e := NewEngine(Config{})
+	if _, _, err := e.Cluster(graph.Path(5), 0, 1); err == nil {
+		t.Fatal("tau=0 should fail")
+	}
+}
+
+func TestMRClusterTinyGraphSingletons(t *testing.T) {
+	g := graph.Path(5)
+	e := NewEngine(Config{})
+	s, _, err := e.Cluster(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, o := range s.Owner {
+		if seen[o] {
+			t.Fatal("tiny graph should be all singleton clusters")
+		}
+		seen[o] = true
+	}
+}

@@ -1,0 +1,146 @@
+package mr
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+)
+
+// Fact 2: two ℓ×ℓ matrices can be multiplied in O(log_ML n + ℓ³/(MG·√ML))
+// rounds. The paper uses min-plus ("tropical") products to square the
+// quotient graph's distance matrix O(log ℓ) times, obtaining its diameter
+// within the memory budget of Theorem 4. Here we implement the min-plus
+// product with the classical 2-round MR scheme (join on the inner index,
+// then reduce by output cell), which realizes the bound for
+// ℓ ≤ √ML-per-row workloads; the engine's accounting verifies the resource
+// usage rather than assuming it.
+
+// Inf is the "no path" value in distance matrices. It is large enough that
+// Inf + Inf does not overflow int64.
+const Inf int64 = 1 << 40
+
+// MinPlusSquare returns the min-plus square C = A ⊗ A of the ℓ×ℓ matrix a
+// (row-major), i.e. C[i][j] = min_k (A[i][k] + A[k][j]).
+func (e *Engine) MinPlusSquare(a []int64, l int) ([]int64, error) {
+	return e.MinPlusProduct(a, a, l)
+}
+
+// MinPlusProduct computes C[i][j] = min_k (A[i][k] + B[k][j]) in two MR
+// rounds: round 1 joins row slices of A with column slices of B on the
+// inner index k and emits candidate sums; round 2 takes the min per output
+// cell.
+func (e *Engine) MinPlusProduct(a, b []int64, l int) ([]int64, error) {
+	if len(a) != l*l || len(b) != l*l {
+		return nil, errors.New("mr: matrix size mismatch")
+	}
+	if l == 0 {
+		return nil, nil
+	}
+	// Round 1 input: one pair per finite matrix entry, keyed by the inner
+	// index. A-entries: (k) -> (i, A[i][k]) tagged by sign trick: store
+	// matrix id in the key's high bit? Keys must group A row-k with B
+	// column-k together, so tag inside the value instead: A entries carry
+	// A = i, B entries carry A = i + l (reducer splits by range).
+	in := make([]Pair, 0, 2*l*l)
+	for i := 0; i < l; i++ {
+		for k := 0; k < l; k++ {
+			if a[i*l+k] < Inf {
+				in = append(in, Pair{Key: uint64(k), A: int64(i), B: a[i*l+k]})
+			}
+		}
+	}
+	for k := 0; k < l; k++ {
+		for j := 0; j < l; j++ {
+			if b[k*l+j] < Inf {
+				in = append(in, Pair{Key: uint64(k), A: int64(j) + int64(l), B: b[k*l+j]})
+			}
+		}
+	}
+	mid, err := e.Round(in, func(_ uint64, pairs []Pair, emit Emitter) {
+		// pairs sorted by A: A-side rows first (A < l), then B-side
+		// columns.
+		split := 0
+		for split < len(pairs) && pairs[split].A < int64(l) {
+			split++
+		}
+		for _, pa := range pairs[:split] {
+			i := pa.A
+			for _, pb := range pairs[split:] {
+				j := pb.A - int64(l)
+				emit(Pair{Key: uint64(i)*uint64(l) + uint64(j), A: 0, B: pa.B + pb.B})
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out, err := e.Round(mid, func(key uint64, pairs []Pair, emit Emitter) {
+		min := Inf
+		for _, p := range pairs {
+			if p.B < min {
+				min = p.B
+			}
+		}
+		emit(Pair{Key: key, B: min})
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := make([]int64, l*l)
+	for i := range c {
+		c[i] = Inf
+	}
+	for _, p := range out {
+		c[p.Key] = p.B
+	}
+	return c, nil
+}
+
+// APSPByRepeatedSquaring computes all-pairs shortest paths of a weighted
+// graph by ⌈log₂ ℓ⌉ min-plus squarings of its adjacency matrix, the
+// strategy Theorem 4 uses for the quotient graph. Unreachable pairs stay
+// at Inf.
+func (e *Engine) APSPByRepeatedSquaring(w *graph.Weighted) ([]int64, error) {
+	l := w.NumNodes()
+	if l == 0 {
+		return nil, nil
+	}
+	mat := make([]int64, l*l)
+	for i := range mat {
+		mat[i] = Inf
+	}
+	for u := 0; u < l; u++ {
+		mat[u*l+u] = 0
+		nbrs, ws := w.Neighbors(graph.NodeID(u))
+		for i, v := range nbrs {
+			if int64(ws[i]) < mat[u*l+int(v)] {
+				mat[u*l+int(v)] = int64(ws[i])
+			}
+		}
+	}
+	for span := 1; span < l; span *= 2 {
+		var err error
+		mat, err = e.MinPlusSquare(mat, l)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return mat, nil
+}
+
+// DiameterByRepeatedSquaring returns the weighted diameter of a connected
+// weighted graph via APSPByRepeatedSquaring (the Fact 2 path of Theorem 4).
+// Unreachable pairs are ignored; the empty graph has diameter 0.
+func (e *Engine) DiameterByRepeatedSquaring(w *graph.Weighted) (int64, error) {
+	mat, err := e.APSPByRepeatedSquaring(w)
+	if err != nil {
+		return 0, err
+	}
+	var diam int64
+	for _, d := range mat {
+		if d < Inf && d > diam {
+			diam = d
+		}
+	}
+	return diam, nil
+}

@@ -1,0 +1,131 @@
+// Package mr simulates the MR(MG, ML) MapReduce model of Pietracaprina et
+// al. ([24] in the paper), the model in which Section 5 analyzes the
+// distributed implementation of CLUSTER/CLUSTER2 and of the diameter
+// estimator.
+//
+// An MR algorithm is a sequence of rounds. In a round, a multiset of
+// key-value pairs is transformed into a new multiset by applying a reducer
+// independently to every group of pairs sharing a key. Two resources are
+// constrained: MG, the total memory across the computation (global space),
+// and ML, the memory available to a single reducer (local space). The
+// engine enforces both and counts rounds, so algorithm implementations can
+// be checked against their claimed round complexity (e.g. Lemma 3's
+// O(R·log_ML m) rounds for R growing steps, or Fact 2's bound for matrix
+// multiplication).
+//
+// The driver program may inspect O(ML)-sized round outputs between rounds
+// (as a real MapReduce driver collects small side outputs); everything
+// data-sized must flow through Round.
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Pair is a key-value pair. Values are opaque 2-word payloads, enough for
+// the graph primitives in this repository (node ids, weights, indices).
+type Pair struct {
+	Key uint64
+	A   int64
+	B   int64
+}
+
+// Config sets the model parameters.
+type Config struct {
+	// MG is the global memory, in pairs. Zero means unlimited.
+	MG int64
+	// ML is the local (per-reducer) memory, in pairs. Zero means unlimited.
+	ML int64
+}
+
+// Engine executes rounds and accounts resource usage.
+type Engine struct {
+	cfg Config
+
+	rounds       int
+	maxGroup     int
+	maxGlobal    int64
+	totalShuffle int64
+}
+
+// NewEngine returns an engine for the given configuration.
+func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+
+// Rounds returns the number of rounds executed so far.
+func (e *Engine) Rounds() int { return e.rounds }
+
+// MaxReducerInput returns the largest group any reducer received.
+func (e *Engine) MaxReducerInput() int { return e.maxGroup }
+
+// MaxGlobalPairs returns the largest round input observed.
+func (e *Engine) MaxGlobalPairs() int64 { return e.maxGlobal }
+
+// TotalShuffled returns the total number of pairs moved across all rounds.
+func (e *Engine) TotalShuffled() int64 { return e.totalShuffle }
+
+// ML returns the configured local memory (0 = unlimited).
+func (e *Engine) ML() int64 { return e.cfg.ML }
+
+// ErrLocalMemory is returned when a reducer's input exceeds ML.
+var ErrLocalMemory = errors.New("mr: reducer input exceeds local memory ML")
+
+// ErrGlobalMemory is returned when a round's input exceeds MG.
+var ErrGlobalMemory = errors.New("mr: round input exceeds global memory MG")
+
+// Emitter collects a reducer's output pairs.
+type Emitter func(Pair)
+
+// Reducer transforms one key group. pairs is sorted by (A, B) for
+// determinism and aliases engine-internal storage: it must not be retained.
+type Reducer func(key uint64, pairs []Pair, emit Emitter)
+
+// Round runs one MapReduce round over input: pairs are grouped by key and
+// each group is handed to reduce. It returns the concatenated output.
+func (e *Engine) Round(input []Pair, reduce Reducer) ([]Pair, error) {
+	if e.cfg.MG > 0 && int64(len(input)) > e.cfg.MG {
+		return nil, fmt.Errorf("%w: %d > %d", ErrGlobalMemory, len(input), e.cfg.MG)
+	}
+	if int64(len(input)) > e.maxGlobal {
+		e.maxGlobal = int64(len(input))
+	}
+	// Shuffle: stable ordering by (key, A, B) so reducers see a
+	// deterministic view.
+	buf := make([]Pair, len(input))
+	copy(buf, input)
+	sort.Slice(buf, func(i, j int) bool {
+		if buf[i].Key != buf[j].Key {
+			return buf[i].Key < buf[j].Key
+		}
+		if buf[i].A != buf[j].A {
+			return buf[i].A < buf[j].A
+		}
+		return buf[i].B < buf[j].B
+	})
+
+	var out []Pair
+	emit := func(p Pair) { out = append(out, p) }
+	for lo := 0; lo < len(buf); {
+		hi := lo
+		for hi < len(buf) && buf[hi].Key == buf[lo].Key {
+			hi++
+		}
+		group := buf[lo:hi]
+		if e.cfg.ML > 0 && int64(len(group)) > e.cfg.ML {
+			return nil, fmt.Errorf("%w: key %d has %d pairs > %d",
+				ErrLocalMemory, buf[lo].Key, len(group), e.cfg.ML)
+		}
+		if len(group) > e.maxGroup {
+			e.maxGroup = len(group)
+		}
+		reduce(buf[lo].Key, group, emit)
+		lo = hi
+	}
+	e.rounds++
+	e.totalShuffle += int64(len(input))
+	if e.cfg.MG > 0 && int64(len(out)) > e.cfg.MG {
+		return nil, fmt.Errorf("%w: output %d > %d", ErrGlobalMemory, len(out), e.cfg.MG)
+	}
+	return out, nil
+}

@@ -1,0 +1,282 @@
+package mr
+
+import (
+	"errors"
+	"sort"
+)
+
+// Fact 1 primitives: sorting and (segmented) prefix sums in O(log_ML n)
+// rounds on MR(MG, ML) with MG = Θ(n).
+//
+// The implementations follow the standard sample-sort / block-scan schemes:
+// data is cut into blocks of ML pairs keyed by block id; per-block work is
+// one round; the O(n/ML)-sized block summaries fit in a single reducer as
+// long as n <= ML², and the schemes recurse(-ably) beyond that. For the
+// repository's experiment scales one level suffices, giving the constant
+// number of rounds per cluster-growing step that Lemma 3 assumes.
+
+// blockSize returns the block size to use for n items.
+func (e *Engine) blockSize(n int) int {
+	if e.cfg.ML <= 0 || int64(n) <= e.cfg.ML {
+		return n
+	}
+	return int(e.cfg.ML)
+}
+
+// Sort sorts values ascending using MR rounds: block-local sort + regular
+// sampling, splitter computation on the (small) sample, bucket
+// redistribution, and bucket-local sort.
+func (e *Engine) Sort(values []int64) ([]int64, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, nil
+	}
+	// Blocks of ML/2 guarantee (by the regular-sampling bound) that every
+	// final bucket holds at most 2·bs <= ML pairs.
+	bs := e.blockSize(n)
+	if int64(bs) == e.cfg.ML && bs > 1 {
+		bs /= 2
+	}
+	if bs >= n {
+		// Single reducer sorts everything: one round.
+		in := make([]Pair, n)
+		for i, v := range values {
+			in[i] = Pair{Key: 0, A: v}
+		}
+		out, err := e.Round(in, func(_ uint64, pairs []Pair, emit Emitter) {
+			for _, p := range pairs {
+				emit(p) // pairs arrive sorted by A already
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := make([]int64, n)
+		for i, p := range out {
+			res[i] = p.A
+		}
+		return res, nil
+	}
+
+	numBlocks := (n + bs - 1) / bs
+	if e.cfg.ML > 0 && int64(numBlocks)*int64(numBlocks) > e.cfg.ML {
+		return nil, errors.New("mr: Sort supports n up to ~ML^1.5/2 (one sample-sort level); recurse for more")
+	}
+
+	// Round 1: block-local sort; each block emits ~ML/numBlocks regular
+	// samples to the coordinator key and its own (still blocked) data.
+	const coordinator = ^uint64(0)
+	in := make([]Pair, n)
+	for i, v := range values {
+		in[i] = Pair{Key: uint64(i / bs), A: v}
+	}
+	samplesPerBlock := numBlocks // gives numBlocks² <= ML/8 samples total
+	if samplesPerBlock < 1 {
+		samplesPerBlock = 1
+	}
+	mid, err := e.Round(in, func(key uint64, pairs []Pair, emit Emitter) {
+		for _, p := range pairs {
+			emit(p)
+		}
+		step := (len(pairs) + samplesPerBlock - 1) / samplesPerBlock
+		if step < 1 {
+			step = 1
+		}
+		for i := step - 1; i < len(pairs); i += step {
+			emit(Pair{Key: coordinator, A: pairs[i].A, B: 1})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Driver: collect the coordinator's sample (O(numBlocks²) = O(ML)) and
+	// derive numBlocks-1 splitters.
+	var sample []int64
+	data := mid[:0:0]
+	for _, p := range mid {
+		if p.Key == coordinator {
+			sample = append(sample, p.A)
+		} else {
+			data = append(data, p)
+		}
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	splitters := make([]int64, 0, numBlocks-1)
+	for i := 1; i < numBlocks; i++ {
+		idx := i * len(sample) / numBlocks
+		if idx >= len(sample) {
+			idx = len(sample) - 1
+		}
+		splitters = append(splitters, sample[idx])
+	}
+
+	// Round 2: redistribute into buckets by splitter.
+	bucketed, err := e.Round(data, func(_ uint64, pairs []Pair, emit Emitter) {
+		for _, p := range pairs {
+			b := sort.Search(len(splitters), func(i int) bool { return splitters[i] >= p.A })
+			emit(Pair{Key: uint64(b), A: p.A})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Round 3: bucket-local sort (groups arrive sorted by A already).
+	out, err := e.Round(bucketed, func(key uint64, pairs []Pair, emit Emitter) {
+		for _, p := range pairs {
+			emit(p)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Buckets come back grouped in key order, and keys respect the splitter
+	// order, so concatenation is sorted.
+	res := make([]int64, len(out))
+	for i, p := range out {
+		res[i] = p.A
+	}
+	return res, nil
+}
+
+// Scan computes an inclusive prefix scan of values under the associative
+// operation op with the given identity, in three MR rounds (block scan,
+// block-summary scan on one reducer, offset application).
+func (e *Engine) Scan(values []int64, op func(a, b int64) int64, identity int64) ([]int64, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, nil
+	}
+	bs := e.blockSize(n)
+	numBlocks := (n + bs - 1) / bs
+	if e.cfg.ML > 0 && int64(numBlocks) > e.cfg.ML {
+		return nil, errors.New("mr: Scan needs n <= ML²")
+	}
+
+	// Round 1: per-block inclusive scan; block totals go to the coordinator.
+	const coordinator = ^uint64(0)
+	in := make([]Pair, n)
+	for i, v := range values {
+		in[i] = Pair{Key: uint64(i / bs), A: int64(i), B: v}
+	}
+	mid, err := e.Round(in, func(key uint64, pairs []Pair, emit Emitter) {
+		acc := identity
+		for _, p := range pairs { // sorted by A = original index
+			acc = op(acc, p.B)
+			emit(Pair{Key: key, A: p.A, B: acc})
+		}
+		emit(Pair{Key: coordinator, A: int64(key), B: acc})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Driver collects block totals (<= numBlocks <= ML pairs) and computes
+	// exclusive offsets per block.
+	offsets := make([]int64, numBlocks)
+	data := mid[:0:0]
+	totals := make([]int64, numBlocks)
+	for _, p := range mid {
+		if p.Key == coordinator {
+			totals[p.A] = p.B
+		} else {
+			data = append(data, p)
+		}
+	}
+	acc := identity
+	for b := 0; b < numBlocks; b++ {
+		offsets[b] = acc
+		acc = op(acc, totals[b])
+	}
+
+	// Round 2: apply the block offset to every element.
+	out, err := e.Round(data, func(key uint64, pairs []Pair, emit Emitter) {
+		off := offsets[key]
+		for _, p := range pairs {
+			emit(Pair{Key: 0, A: p.A, B: op(off, p.B)})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := make([]int64, n)
+	for _, p := range out {
+		res[p.A] = p.B
+	}
+	return res, nil
+}
+
+// PrefixSum computes inclusive prefix sums.
+func (e *Engine) PrefixSum(values []int64) ([]int64, error) {
+	return e.Scan(values, func(a, b int64) int64 { return a + b }, 0)
+}
+
+// SegmentedPrefixSum computes inclusive prefix sums that restart whenever
+// the segment id changes (segments must be contiguous runs). It is built
+// from two ordinary scans, matching the Fact 1 primitive set: a prefix-max
+// scan locates each element's segment start, and a prefix-sum scan turns
+// range sums into differences.
+func (e *Engine) SegmentedPrefixSum(values []int64, segments []int64) ([]int64, error) {
+	n := len(values)
+	if len(segments) != n {
+		return nil, errors.New("mr: segments length mismatch")
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// starts[i] = i if a segment starts at i, else -1; prefix-max gives the
+	// segment start index for every element.
+	starts := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if i == 0 || segments[i] != segments[i-1] {
+			starts[i] = int64(i)
+		} else {
+			starts[i] = -1
+		}
+	}
+	segStart, err := e.Scan(starts, func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}, -1)
+	if err != nil {
+		return nil, err
+	}
+	prefix, err := e.PrefixSum(values)
+	if err != nil {
+		return nil, err
+	}
+	// Final elementwise round: out[i] = prefix[i] - prefix[segStart[i]-1].
+	in := make([]Pair, n)
+	for i := 0; i < n; i++ {
+		in[i] = Pair{Key: uint64(i / e.blockSizeNonZero(n)), A: int64(i)}
+	}
+	out, err := e.Round(in, func(_ uint64, pairs []Pair, emit Emitter) {
+		for _, p := range pairs {
+			i := p.A
+			v := prefix[i]
+			if s := segStart[i]; s > 0 {
+				v -= prefix[s-1]
+			}
+			emit(Pair{Key: 0, A: i, B: v})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := make([]int64, n)
+	for _, p := range out {
+		res[p.A] = p.B
+	}
+	return res, nil
+}
+
+func (e *Engine) blockSizeNonZero(n int) int {
+	bs := e.blockSize(n)
+	if bs < 1 {
+		return 1
+	}
+	return bs
+}

@@ -1,0 +1,140 @@
+package pbfs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRunMatchesSequentialBFS(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Mesh(25, 25),
+		graph.BarabasiAlbert(2000, 3, 1),
+		graph.Path(300),
+	} {
+		want := g.BFS(0)
+		res, err := Run(g, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range want {
+			if res.Dist[u] != want[u] {
+				t.Fatalf("dist[%d]=%d want %d", u, res.Dist[u], want[u])
+			}
+		}
+		if res.Ecc != g.Eccentricity(0) {
+			t.Fatalf("ecc %d want %d", res.Ecc, g.Eccentricity(0))
+		}
+	}
+}
+
+func TestRunBoundsBracketDiameter(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Mesh(20, 20),
+		graph.RoadLike(20, 20, 0.4, 2),
+		graph.Cycle(61),
+	} {
+		truth, _ := g.ExactDiameter(0)
+		res, err := Run(g, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Lower > truth || res.Upper < truth {
+			t.Fatalf("bounds [%d, %d] do not bracket %d", res.Lower, res.Upper, truth)
+		}
+	}
+}
+
+func TestRunRoundsLinearInEccentricity(t *testing.T) {
+	g := graph.Path(500)
+	res, err := Run(g, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ecc + the final empty-frontier detection round.
+	if res.Stats.Rounds != 500 {
+		t.Fatalf("rounds=%d want 500", res.Stats.Rounds)
+	}
+	if res.Ecc != 499 {
+		t.Fatalf("ecc=%d want 499", res.Ecc)
+	}
+}
+
+func TestRunAggregateMessagesLinear(t *testing.T) {
+	g := graph.Mesh(30, 30)
+	res, err := Run(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Messages != int64(g.NumArcs()) {
+		t.Fatalf("messages=%d want %d (2m)", res.Stats.Messages, g.NumArcs())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(graph.NewBuilder(0).Build(), 0, 0); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+	if _, err := Run(graph.Path(3), 7, 0); err == nil {
+		t.Fatal("source out of range should fail")
+	}
+	if _, err := Run(graph.Path(3), -1, 0); err == nil {
+		t.Fatal("negative source should fail")
+	}
+}
+
+func TestTwoSweepImprovesLowerBound(t *testing.T) {
+	// Start a sweep from the middle of a path: single-sweep lower bound is
+	// n/2, two-sweep finds the full diameter.
+	g := graph.Path(101)
+	single, err := Run(g, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := TwoSweep(g, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Lower != 50 {
+		t.Fatalf("single sweep lower %d want 50", single.Lower)
+	}
+	if double.Lower != 100 {
+		t.Fatalf("two-sweep lower %d want 100", double.Lower)
+	}
+	truth := int32(100)
+	if double.Lower > truth || double.Upper < truth {
+		t.Fatal("two-sweep bounds do not bracket the diameter")
+	}
+}
+
+func TestTwoSweepAccumulatesStats(t *testing.T) {
+	g := graph.Mesh(15, 15)
+	single, _ := Run(g, 0, 0)
+	double, err := TwoSweep(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if double.Stats.Rounds <= single.Stats.Rounds {
+		t.Fatal("two-sweep should count both sweeps' rounds")
+	}
+	if double.Stats.Messages != 2*single.Stats.Messages {
+		t.Fatalf("two-sweep messages %d want %d", double.Stats.Messages, 2*single.Stats.Messages)
+	}
+}
+
+func TestRunDisconnectedLeavesUnreached(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	res, err := Run(g, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[2] != -1 || res.Dist[3] != -1 {
+		t.Fatal("nodes in other components must stay at -1")
+	}
+	if res.Ecc != 1 {
+		t.Fatalf("ecc %d want 1", res.Ecc)
+	}
+}

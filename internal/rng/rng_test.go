@@ -1,0 +1,285 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewDifferentSeeds(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestSplitIndependentAndStable(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+	if c1.Uint64() != c1again.Uint64() {
+		t.Fatal("Split not stable for the same id")
+	}
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("Split streams for different ids collide immediately")
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("zero-seeded generator looks degenerate: %d distinct in 10 draws", len(seen))
+	}
+}
+
+func TestInt63nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := r.Int63n(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Int63n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestInt63nPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	New(1).Int63n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v too far from 0.5", mean)
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 50; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(6)
+	const trials = 100000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) empirical rate %v", rate)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(8)
+	for _, beta := range []float64{0.5, 1, 4} {
+		sum := 0.0
+		const trials = 200000
+		for i := 0; i < trials; i++ {
+			sum += r.Exp(beta)
+		}
+		mean := sum / trials
+		want := 1 / beta
+		if math.Abs(mean-want) > 0.05*want {
+			t.Fatalf("Exp(%v) mean %v want %v", beta, mean, want)
+		}
+	}
+}
+
+func TestExpPositive(t *testing.T) {
+	r := New(12)
+	for i := 0; i < 10000; i++ {
+		if v := r.Exp(2); v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) len %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestCoinDeterministic(t *testing.T) {
+	for i := uint64(0); i < 100; i++ {
+		a := Coin(0.5, 1, 2, i)
+		b := Coin(0.5, 1, 2, i)
+		if a != b {
+			t.Fatal("Coin not deterministic")
+		}
+	}
+}
+
+func TestCoinRate(t *testing.T) {
+	const trials = 100000
+	hits := 0
+	for i := uint64(0); i < trials; i++ {
+		if Coin(0.25, 99, i) {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if math.Abs(rate-0.25) > 0.01 {
+		t.Fatalf("Coin(0.25) empirical rate %v", rate)
+	}
+}
+
+func TestCoinKeySensitivity(t *testing.T) {
+	// Different rounds must yield different coin outcomes for some nodes.
+	diff := 0
+	for i := uint64(0); i < 1000; i++ {
+		if Coin(0.5, 1, 0, i) != Coin(0.5, 1, 1, i) {
+			diff++
+		}
+	}
+	if diff < 300 {
+		t.Fatalf("coins for different rounds suspiciously correlated: %d/1000 differ", diff)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform(42, i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+	}
+}
+
+func TestExpAtMean(t *testing.T) {
+	sum := 0.0
+	const trials = 200000
+	for i := uint64(0); i < trials; i++ {
+		sum += ExpAt(2.0, 7, i)
+	}
+	mean := sum / trials
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("ExpAt(2) mean %v want 0.5", mean)
+	}
+}
+
+func TestSortableFloat32BitsOrder(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		ba, bb := SortableFloat32Bits(a), SortableFloat32Bits(b)
+		switch {
+		case a < b:
+			return ba < bb
+		case a > b:
+			return ba > bb
+		default:
+			// +0 and -0 compare equal as floats but may map to
+			// different bit patterns; accept either order.
+			return a == b
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortableFloat32BitsRoundTrip(t *testing.T) {
+	f := func(a float32) bool {
+		if math.IsNaN(float64(a)) {
+			return true
+		}
+		return FromSortableFloat32Bits(SortableFloat32Bits(a)) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 10000; i++ {
+		seen[Mix64(1, i)] = true
+	}
+	if len(seen) != 10000 {
+		t.Fatalf("Mix64 collisions: %d distinct of 10000", len(seen))
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkCoin(b *testing.B) {
+	var sink bool
+	for i := 0; i < b.N; i++ {
+		sink = Coin(0.5, 1, uint64(i))
+	}
+	_ = sink
+}

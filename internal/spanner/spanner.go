@@ -1,0 +1,194 @@
+// Package spanner implements the randomized (2k−1)-spanner construction of
+// Baswana and Sen ([4] in the paper). Theorem 4 uses it to sparsify the
+// quotient graph down to the reducers' local memory while stretching its
+// diameter by only a constant factor; the construction needs no shortest
+// path computations and maps to a constant number of cluster-growing-style
+// rounds, which is why the paper can afford it inside the MR pipeline.
+//
+// For a weighted graph on n nodes the expected spanner size is
+// O(k·n^{1+1/k}) edges and every distance is preserved up to a factor
+// 2k−1.
+package spanner
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+type edge struct {
+	to graph.NodeID
+	wt int32
+}
+
+// BaswanaSen computes a (2k−1)-spanner of w. It returns the spanner as a
+// weighted graph over the same node set.
+func BaswanaSen(w *graph.Weighted, k int, seed uint64) (*graph.Weighted, error) {
+	if k < 1 {
+		return nil, errors.New("spanner: k must be >= 1")
+	}
+	n := w.NumNodes()
+	if n == 0 {
+		return graph.NewWeighted(0, nil, nil), nil
+	}
+	prob := math.Pow(float64(n), -1.0/float64(k))
+
+	// Live edges per vertex (both directions); edges get discarded as the
+	// algorithm proceeds.
+	adj := make([][]edge, n)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		nbrs, ws := w.Neighbors(u)
+		for i, v := range nbrs {
+			adj[u] = append(adj[u], edge{v, ws[i]})
+		}
+	}
+	// Deterministic edge orderings (by weight, then id) for tie-breaks.
+	for u := range adj {
+		list := adj[u]
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].wt != list[j].wt {
+				return list[i].wt < list[j].wt
+			}
+			return list[i].to < list[j].to
+		})
+	}
+
+	var spanEdges [][2]graph.NodeID
+	var spanWeights []int32
+	addEdge := func(u, v graph.NodeID, wt int32) {
+		spanEdges = append(spanEdges, [2]graph.NodeID{u, v})
+		spanWeights = append(spanWeights, wt)
+	}
+
+	// cluster[v] = center of v's cluster at the current level, or -1 if v
+	// has left the clustering (all its edges are resolved).
+	cluster := make([]graph.NodeID, n)
+	for i := range cluster {
+		cluster[i] = graph.NodeID(i)
+	}
+
+	for level := 1; level < k; level++ {
+		// Sample cluster centers.
+		sampled := make(map[graph.NodeID]bool)
+		for _, c := range cluster {
+			if c >= 0 && !sampled[c] && rng.Coin(prob, seed, uint64(level), uint64(c)) {
+				sampled[c] = true
+			}
+		}
+		next := make([]graph.NodeID, n)
+		for i := range next {
+			next[i] = -1
+		}
+		// Vertices already in sampled clusters stay put.
+		for v := 0; v < n; v++ {
+			if cluster[v] >= 0 && sampled[cluster[v]] {
+				next[v] = cluster[v]
+			}
+		}
+		for v := graph.NodeID(0); int(v) < n; v++ {
+			if cluster[v] < 0 || sampled[cluster[v]] {
+				continue
+			}
+			// Lightest edge from v into each adjacent cluster.
+			lightest := map[graph.NodeID]edge{}
+			for _, e := range adj[v] {
+				c := cluster[e.to]
+				if c < 0 {
+					continue
+				}
+				if cur, ok := lightest[c]; !ok || e.wt < cur.wt || (e.wt == cur.wt && e.to < cur.to) {
+					lightest[c] = e
+				}
+			}
+			// Lightest edge into a sampled cluster, if any.
+			var bestC graph.NodeID = -1
+			var best edge
+			for c, e := range lightest {
+				if !sampled[c] {
+					continue
+				}
+				if bestC < 0 || e.wt < best.wt || (e.wt == best.wt && e.to < best.to) {
+					bestC, best = c, e
+				}
+			}
+			if bestC < 0 {
+				// No sampled neighbor: add the lightest edge to every
+				// adjacent cluster and retire v.
+				for _, e := range clustersSorted(lightest) {
+					addEdge(v, e.to, e.wt)
+				}
+				adj[v] = nil
+				next[v] = -1
+				continue
+			}
+			// Join the sampled cluster through its lightest edge; also add
+			// the lightest edge to every cluster that is strictly lighter.
+			addEdge(v, best.to, best.wt)
+			next[v] = bestC
+			var kept []edge
+			for _, e := range adj[v] {
+				c := cluster[e.to]
+				if c < 0 {
+					continue
+				}
+				le := lightest[c]
+				switch {
+				case c == bestC:
+					// resolved by joining
+				case le.wt < best.wt:
+					// strictly lighter cluster: connect and resolve
+					if e.to == le.to && e.wt == le.wt {
+						addEdge(v, e.to, e.wt)
+					}
+				default:
+					kept = append(kept, e)
+				}
+			}
+			adj[v] = kept
+		}
+		cluster = next
+	}
+
+	// Phase 2: every vertex adds its lightest edge to each adjacent
+	// final-level cluster.
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		lightest := map[graph.NodeID]edge{}
+		for _, e := range adj[v] {
+			c := cluster[e.to]
+			if c < 0 || c == cluster[v] {
+				continue
+			}
+			if cur, ok := lightest[c]; !ok || e.wt < cur.wt || (e.wt == cur.wt && e.to < cur.to) {
+				lightest[c] = e
+			}
+		}
+		for _, e := range clustersSorted(lightest) {
+			addEdge(v, e.to, e.wt)
+		}
+	}
+
+	// Intra-cluster edges: each vertex keeps the edge that attached it to
+	// its cluster center's tree. Those were added when the vertex joined a
+	// sampled cluster; in the k=1 degenerate case (no phase-1 levels) the
+	// spanner must keep everything adjacent to same-cluster vertices too —
+	// with k=1 every vertex is its own cluster, so phase 2 already added
+	// the lightest edge per neighbor pair, and all pairs are distinct
+	// clusters. Nothing further to do.
+	return graph.NewWeighted(n, spanEdges, spanWeights), nil
+}
+
+func clustersSorted(m map[graph.NodeID]edge) []edge {
+	keys := make([]graph.NodeID, 0, len(m))
+	for c := range m {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]edge, 0, len(keys))
+	for _, c := range keys {
+		out = append(out, m[c])
+	}
+	return out
+}
