@@ -1,16 +1,21 @@
 // Benchmark harness: one testing.B benchmark per table and figure of the
 // paper's Section 6 evaluation, plus ablation benches for the design knobs
-// DESIGN.md calls out (τ granularity, worker scaling, CLUSTER vs CLUSTER2).
+// (τ granularity, worker scaling, CLUSTER vs CLUSTER2) and a serving-layer
+// bench for the query daemon's hot path (see README.md).
 //
 // The benches run the same code paths as cmd/tables at a reduced scale so
 // `go test -bench=. -benchmem` finishes in minutes; run cmd/tables with
-// -scale 1 (or higher) for the full-scale numbers recorded in
-// EXPERIMENTS.md.
+// -scale 1 (or higher) for the full-scale numbers.
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro"
@@ -20,6 +25,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mpx"
 	"repro/internal/pbfs"
+	"repro/internal/rng"
 )
 
 // benchCfg keeps per-iteration work around a second per dataset.
@@ -271,6 +277,65 @@ func BenchmarkFacadeKCenter(b *testing.B) {
 		if _, err := repro.KCenter(road, 40, repro.Options{Seed: 5}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Serving layer: the query daemon's hot path ---
+
+// BenchmarkServeDistance measures end-to-end /distance latency — HTTP,
+// JSON, worker pool, cache hit, O(1) oracle lookup — under parallel
+// clients, the production shape of cmd/reprod.
+func BenchmarkServeDistance(b *testing.B) {
+	_, _, road := benchGraphs()
+	s := repro.NewServer(repro.ServeConfig{Workers: 64})
+	if err := s.RegisterGraph("road", road); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Build the oracle outside the timed region.
+	if _, err := s.Oracle(context.Background(), "road", 4, 1, ""); err != nil {
+		b.Fatal(err)
+	}
+	n := road.NumNodes()
+	var clientID atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Distinct per-goroutine seeds: identical streams would make the
+		// parallel clients replay the same queries in lockstep.
+		r := rng.New(clientID.Add(1))
+		client := ts.Client()
+		for pb.Next() {
+			u := r.Intn(n)
+			v := r.Intn(n)
+			resp, err := client.Get(fmt.Sprintf("%s/distance?graph=road&tau=4&seed=1&u=%d&v=%d", ts.URL, u, v))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+	})
+}
+
+// BenchmarkServeOracleQuery isolates the oracle lookup the endpoint wraps,
+// for comparison with the full HTTP round trip above.
+func BenchmarkServeOracleQuery(b *testing.B) {
+	_, _, road := benchGraphs()
+	o, err := core.BuildOracle(road, 4, false, core.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := road.NumNodes()
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		_ = o.Query(u, v)
 	}
 }
 

@@ -1,0 +1,278 @@
+// Command reprod is the long-running query daemon: it loads a graph (from
+// an edge list, a generator spec, or a binary snapshot), builds the
+// paper's distance oracle once, and serves distance / cluster-of /
+// diameter / k-center queries over HTTP/JSON until stopped.
+//
+// Cold start, building the oracle and persisting it for next time:
+//
+//	reprod -graph road.txt -name road -tau 4 -seed 1 -snapshot road.snap
+//
+// Warm restart — the snapshot carries graph + oracle, no rebuild:
+//
+//	reprod -snapshot road.snap
+//
+// Synthetic graph without a file:
+//
+//	reprod -gen mesh:500x500 -name mesh -tau 8
+//
+// Query it:
+//
+//	curl 'localhost:8080/distance?graph=road&u=17&v=90210'
+//	curl 'localhost:8080/diameter?graph=road'
+//	curl 'localhost:8080/kcenter?graph=road&k=32'
+//	curl 'localhost:8080/stats'
+//
+// Endpoint parameters tau/seed/algo select the artifact; omitted they fall
+// back to the daemon's -tau/-seed/-algo defaults, so clients that do not
+// care about build parameters hit the prebuilt artifact.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/snapshot"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		graphIn  = flag.String("graph", "", "input edge-list file")
+		gen      = flag.String("gen", "", "generator spec: mesh:WxH | road:WxH[:keep] | ba:N[:deg] | rmat:SCALE[:deg] | er:N[:deg]")
+		name     = flag.String("name", "", "name to serve the graph under (default: derived from -graph/-gen)")
+		snapPath = flag.String("snapshot", "", "snapshot file: loaded if it exists (skipping the build), written after the build otherwise")
+		tau      = flag.Int("tau", 0, "default oracle granularity (0 = paper default)")
+		seed     = flag.Uint64("seed", 1, "default decomposition seed")
+		algo     = flag.String("algo", "cluster", "default decomposition: cluster | cluster2")
+		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
+		build    = flag.Int("build-workers", 0, "BSP workers for artifact builds (0 = GOMAXPROCS)")
+		lazy     = flag.Bool("lazy", false, "skip the startup oracle build; first query pays it")
+	)
+	flag.Parse()
+
+	// A loadable snapshot wins: its metadata becomes the request defaults,
+	// so clients that omit tau/seed/algo hit the loaded artifact instead of
+	// triggering a rebuild under a slightly different key.
+	var art *snapshot.Artifact
+	if *snapPath != "" {
+		var err error
+		if art, err = snapshot.Load(*snapPath); err != nil && !errors.Is(err, os.ErrNotExist) {
+			// A corrupt snapshot is fatal only when it is the sole source;
+			// with -graph/-gen available, fall through to the cold path,
+			// which rebuilds and overwrites the bad file.
+			if *graphIn == "" && *gen == "" {
+				log.Fatalf("reprod: snapshot %s unreadable: %v", *snapPath, err)
+			}
+			log.Printf("reprod: ignoring unreadable snapshot %s (%v); rebuilding", *snapPath, err)
+			art = nil
+		}
+	}
+	defTau, defSeed, defAlgo := *tau, *seed, *algo
+	if art != nil && art.Oracle != nil {
+		defTau, defSeed, defAlgo = art.Meta.Tau, art.Meta.Seed, art.Meta.Algorithm
+	}
+	s := serve.New(serve.Config{
+		Workers:          *workers,
+		DefaultTau:       defTau,
+		DefaultSeed:      defSeed,
+		DefaultAlgorithm: defAlgo,
+		BuildWorkers:     *build,
+	})
+
+	graphName, err := bootstrap(s, art, *graphIn, *gen, *name, *snapPath, *tau, *seed, *algo, *lazy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	go func() {
+		log.Printf("reprod: serving %v on %s", s.GraphNames(), *addr)
+		log.Printf("reprod: try  curl 'http://localhost%s/distance?graph=%s&u=0&v=1'",
+			portOf(*addr), graphName)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Print("reprod: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// bootstrap loads or builds the serving state and returns the graph name.
+func bootstrap(s *serve.Server, art *snapshot.Artifact, graphIn, gen, name, snapPath string, tau int, seed uint64, algo string, lazy bool) (string, error) {
+	// Warm path: a loaded snapshot carries graph (+ oracle) and metadata.
+	if art != nil {
+		if err := s.InstallSnapshot(art); err != nil {
+			return "", err
+		}
+		withOracle := ""
+		if art.Oracle != nil {
+			withOracle = fmt.Sprintf(" + oracle (tau=%d seed=%d %s, %d clusters)",
+				art.Meta.Tau, art.Meta.Seed, art.Meta.Algorithm, art.Oracle.NumClusters())
+		}
+		log.Printf("reprod: loaded snapshot %s: graph %q n=%d m=%d%s",
+			snapPath, art.Meta.GraphName, art.Graph.NumNodes(), art.Graph.NumEdges(), withOracle)
+		return art.Meta.GraphName, nil
+	}
+
+	// Cold path: load or generate the graph.
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch {
+	case graphIn != "":
+		start := time.Now()
+		if g, err = graph.LoadEdgeList(graphIn); err != nil {
+			return "", err
+		}
+		log.Printf("reprod: loaded %s in %v: %s", graphIn, time.Since(start).Round(time.Millisecond), graph.Summarize(g))
+		if name == "" {
+			name = baseName(graphIn)
+		}
+	case gen != "":
+		if g, err = generate(gen); err != nil {
+			return "", err
+		}
+		log.Printf("reprod: generated %s: %s", gen, graph.Summarize(g))
+		if name == "" {
+			name = gen[:strings.IndexByte(gen+":", ':')]
+		}
+	default:
+		return "", errors.New("reprod: need -graph, -gen, or an existing -snapshot")
+	}
+	if err := s.RegisterGraph(name, g); err != nil {
+		return "", err
+	}
+	if lazy {
+		return name, nil
+	}
+
+	// Prebuild the default oracle so the first query is O(1), and persist
+	// it if a snapshot path was given.
+	start := time.Now()
+	built, err := s.SnapshotArtifact(context.Background(), name, tau, seed, algo)
+	if err != nil {
+		return "", err
+	}
+	log.Printf("reprod: built oracle in %v (%d clusters, tau=%d)",
+		time.Since(start).Round(time.Millisecond), built.Oracle.NumClusters(), built.Meta.Tau)
+	if snapPath != "" {
+		start = time.Now()
+		if err := snapshot.Save(snapPath, built); err != nil {
+			return "", err
+		}
+		log.Printf("reprod: wrote snapshot %s in %v", snapPath, time.Since(start).Round(time.Millisecond))
+	}
+	return name, nil
+}
+
+// generate parses a compact generator spec like "mesh:500x500",
+// "road:200x200:0.4", "ba:100000:8", "rmat:17:8", "er:50000:8".
+func generate(spec string) (*graph.Graph, error) {
+	parts := strings.Split(spec, ":")
+	kind := parts[0]
+	var argErr error
+	argInt := func(i, def int) int {
+		if len(parts) <= i {
+			return def
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil && argErr == nil {
+			argErr = fmt.Errorf("reprod: bad argument %q in %q", parts[i], spec)
+		}
+		return v
+	}
+	argFloat := func(i int, def float64) float64 {
+		if len(parts) <= i {
+			return def
+		}
+		v, err := strconv.ParseFloat(parts[i], 64)
+		if err != nil && argErr == nil {
+			argErr = fmt.Errorf("reprod: bad argument %q in %q", parts[i], spec)
+		}
+		return v
+	}
+	dims := func() (int, int, error) {
+		if len(parts) < 2 {
+			return 0, 0, fmt.Errorf("reprod: %s needs WxH (e.g. %s:500x500)", kind, kind)
+		}
+		wh := strings.SplitN(parts[1], "x", 2)
+		if len(wh) != 2 {
+			return 0, 0, fmt.Errorf("reprod: bad dimensions %q", parts[1])
+		}
+		w, err1 := strconv.Atoi(wh[0])
+		h, err2 := strconv.Atoi(wh[1])
+		if err1 != nil || err2 != nil || w < 1 || h < 1 {
+			return 0, 0, fmt.Errorf("reprod: bad dimensions %q", parts[1])
+		}
+		return w, h, nil
+	}
+	switch kind {
+	case "mesh":
+		w, h, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		return graph.Mesh(w, h), nil
+	case "road":
+		w, h, err := dims()
+		if err != nil {
+			return nil, err
+		}
+		keep := argFloat(2, 0.4)
+		if argErr != nil {
+			return nil, argErr
+		}
+		return graph.RoadLike(w, h, keep, 1), nil
+	case "ba":
+		n, deg := argInt(1, 100000), argInt(2, 8)
+		if argErr != nil {
+			return nil, argErr
+		}
+		return graph.BarabasiAlbert(n, deg, 1), nil
+	case "rmat":
+		scale, deg := argInt(1, 16), argInt(2, 8)
+		if argErr != nil {
+			return nil, argErr
+		}
+		return graph.RMAT(scale, deg, 1), nil
+	case "er":
+		n, deg := argInt(1, 100000), argInt(2, 8)
+		if argErr != nil {
+			return nil, argErr
+		}
+		return graph.ErdosRenyi(n, n*deg/2, 1), nil
+	default:
+		return nil, fmt.Errorf("reprod: unknown generator %q", kind)
+	}
+}
+
+func baseName(path string) string {
+	return strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+}
+
+func portOf(addr string) string {
+	if i := strings.LastIndexByte(addr, ':'); i >= 0 {
+		return addr[i:]
+	}
+	return addr
+}

@@ -94,8 +94,50 @@ func OracleFromClustering(cl *Clustering) (*Oracle, error) {
 	return &Oracle{clustering: cl, apsp: apsp, hops: hops}, nil
 }
 
+// OracleFromParts reassembles an oracle from its persisted parts: the
+// decomposition plus the two quotient APSP tables (weighted distances and
+// hop counts). It is the decode-side counterpart of APSP/Hops, used by the
+// snapshot codec, and validates that the table dimensions are mutually
+// consistent so a corrupted snapshot cannot produce an oracle that panics
+// on query.
+func OracleFromParts(cl *Clustering, apsp, hops [][]int64) (*Oracle, error) {
+	if cl == nil || cl.G == nil {
+		return nil, errors.New("core: OracleFromParts: nil clustering")
+	}
+	n, k := cl.G.NumNodes(), cl.NumClusters()
+	if len(cl.Owner) != n || len(cl.Dist) != n {
+		return nil, fmt.Errorf("core: OracleFromParts: owner/dist length %d/%d, want %d",
+			len(cl.Owner), len(cl.Dist), n)
+	}
+	if len(apsp) != k || len(hops) != k {
+		return nil, fmt.Errorf("core: OracleFromParts: %d apsp / %d hop rows for %d clusters",
+			len(apsp), len(hops), k)
+	}
+	for c := 0; c < k; c++ {
+		if len(apsp[c]) != k || len(hops[c]) != k {
+			return nil, fmt.Errorf("core: OracleFromParts: row %d has %d/%d columns, want %d",
+				c, len(apsp[c]), len(hops[c]), k)
+		}
+	}
+	for u := 0; u < n; u++ {
+		if cl.Owner[u] < 0 || int(cl.Owner[u]) >= k {
+			return nil, fmt.Errorf("core: OracleFromParts: node %d owner %d out of range", u, cl.Owner[u])
+		}
+	}
+	return &Oracle{clustering: cl, apsp: apsp, hops: hops}, nil
+}
+
 // Clustering exposes the oracle's underlying decomposition.
 func (o *Oracle) Clustering() *Clustering { return o.clustering }
+
+// APSP returns the weighted quotient all-pairs table (k×k, InfDist for
+// unreachable cluster pairs). The rows alias internal storage and must not
+// be modified; they exist for serialization.
+func (o *Oracle) APSP() [][]int64 { return o.apsp }
+
+// Hops returns the unweighted quotient all-pairs hop table backing
+// LowerQuery. The rows alias internal storage and must not be modified.
+func (o *Oracle) Hops() [][]int64 { return o.hops }
 
 // NumClusters returns the size of the quotient graph (rows of the APSP
 // table).

@@ -1,0 +1,63 @@
+package graph
+
+import "fmt"
+
+// Raw CSR access for serialization. The snapshot codec (internal/snapshot)
+// persists graphs by their CSR arrays directly; these are the only two
+// entry points that expose or adopt the internal storage.
+
+// CSR returns the graph's raw CSR arrays: the offset array xadj
+// (len n+1) and the concatenated adjacency lists adj (len 2m). Both alias
+// the graph's internal storage and must not be modified.
+func (g *Graph) CSR() (xadj []int64, adj []NodeID) {
+	return g.xadj, g.adj
+}
+
+// FromCSR adopts pre-built CSR arrays as a Graph, taking ownership of both
+// slices. It verifies the canonical layout Builder produces — monotone
+// offsets bracketing adj, in-range endpoints, strictly increasing
+// adjacency lists, no self-loops — and rejects malformed input, so a
+// decoded snapshot cannot smuggle in a graph that would crash later
+// algorithms. Symmetry (every arc paired with its reverse) is not
+// re-verified here: it is O(m log m) and snapshot integrity is already
+// covered by a checksum; call Validate for the full check.
+func FromCSR(xadj []int64, adj []NodeID) (*Graph, error) {
+	if len(xadj) == 0 {
+		if len(adj) != 0 {
+			return nil, fmt.Errorf("graph: FromCSR: %d arcs with empty xadj", len(adj))
+		}
+		return &Graph{}, nil
+	}
+	n := len(xadj) - 1
+	if xadj[0] != 0 || xadj[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: FromCSR: xadj endpoints [%d, %d] want [0, %d]",
+			xadj[0], xadj[n], len(adj))
+	}
+	// Verify the whole offset array before slicing adj with it: a monotone
+	// prefix can still hold an out-of-range offset that later entries
+	// contradict.
+	for u := 0; u < n; u++ {
+		if xadj[u] > xadj[u+1] {
+			return nil, fmt.Errorf("graph: FromCSR: xadj not monotone at %d", u)
+		}
+		if xadj[u+1] > int64(len(adj)) {
+			return nil, fmt.Errorf("graph: FromCSR: offset %d at %d exceeds %d arcs", xadj[u+1], u+1, len(adj))
+		}
+	}
+	for u := 0; u < n; u++ {
+		prev := NodeID(-1)
+		for _, v := range adj[xadj[u]:xadj[u+1]] {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("graph: FromCSR: arc (%d,%d) out of range", u, v)
+			}
+			if v == NodeID(u) {
+				return nil, fmt.Errorf("graph: FromCSR: self loop at %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("graph: FromCSR: adjacency of %d not strictly increasing", u)
+			}
+			prev = v
+		}
+	}
+	return &Graph{xadj: xadj, adj: adj}, nil
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "container/heap"
+import (
+	"container/heap"
+	"sort"
+)
 
 // Weighted is an undirected graph with positive integer edge weights in CSR
 // form. It is used for the weighted quotient graphs of Section 4, where the
@@ -32,8 +35,18 @@ func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
 			min[key] = weights[i]
 		}
 	}
-	deg := make([]int64, n+1)
+	// Fill adjacency in sorted key order: packPair orders by (min, max)
+	// endpoint, which yields strictly increasing per-node lists — the same
+	// canonical layout Builder produces for unweighted graphs. This keeps
+	// construction deterministic (map iteration order is randomized) so
+	// tie-breaking in downstream algorithms is reproducible.
+	keys := make([]uint64, 0, len(min))
 	for key := range min {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	deg := make([]int64, n+1)
+	for _, key := range keys {
 		u, v := unpackPair(key)
 		deg[u+1]++
 		deg[v+1]++
@@ -43,15 +56,16 @@ func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
 	}
 	wg := &Weighted{
 		xadj: deg,
-		adj:  make([]NodeID, 2*len(min)),
-		w:    make([]int32, 2*len(min)),
+		adj:  make([]NodeID, 2*len(keys)),
+		w:    make([]int32, 2*len(keys)),
 	}
 	cursor := make([]int64, n)
 	for i := range cursor {
 		cursor[i] = wg.xadj[i]
 	}
-	for key, wt := range min {
+	for _, key := range keys {
 		u, v := unpackPair(key)
+		wt := min[key]
 		wg.adj[cursor[u]], wg.w[cursor[u]] = v, wt
 		cursor[u]++
 		wg.adj[cursor[v]], wg.w[cursor[v]] = u, wt
@@ -59,6 +73,10 @@ func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
 	}
 	return wg
 }
+
+// MaxDegree returns the maximum degree and one node attaining it.
+// On the empty graph it returns (0, None).
+func (g *Weighted) MaxDegree() (int, NodeID) { return maxDegree(g) }
 
 // NumNodes returns the number of nodes.
 func (g *Weighted) NumNodes() int {

@@ -255,12 +255,16 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 
 	// 4-sweep root selection, mirroring the unweighted variant: two double
 	// sweeps yield far extremes a and c; the root minimizes max(d_a, d_c),
-	// avoiding the grid-corner failure of a naive midpoint walk.
+	// avoiding the grid-corner failure of a naive midpoint walk. The first
+	// sweep starts from a max-degree node (as in the unweighted path): on
+	// grid-like graphs that keeps the first extreme off degenerate boundary
+	// geodesics that a corner start can produce.
+	_, start := g.MaxDegree()
 	if !spend() {
 		return 0, false
 	}
 	reset()
-	g.DijkstraInto(0, dist)
+	g.DijkstraInto(start, dist)
 	a := argMax()
 	if !spend() {
 		return 0, false

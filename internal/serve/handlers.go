@@ -1,0 +1,341 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Handler returns the HTTP surface of the server:
+//
+//	GET /distance?graph=G&u=U&v=V[&tau=T][&seed=S][&algo=cluster|cluster2]
+//	GET /cluster-of?graph=G&u=U[&tau=T][&seed=S][&algo=...]
+//	GET /diameter?graph=G[&tau=T][&seed=S][&algo=...]
+//	GET /kcenter?graph=G&k=K[&seed=S]
+//	GET /stats
+//	GET /healthz
+//
+// All endpoints answer JSON. Missing or malformed parameters are 400,
+// unknown graphs 404, cancelled/timed-out requests 503.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/distance", s.wrap(s.handleDistance))
+	mux.HandleFunc("/cluster-of", s.wrap(s.handleClusterOf))
+	mux.HandleFunc("/diameter", s.wrap(s.handleDiameter))
+	mux.HandleFunc("/kcenter", s.wrap(s.handleKCenter))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": s.GraphNames()})
+	})
+	return mux
+}
+
+// httpError carries a status code through the handler plumbing.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// wrap is the shared request pipeline: count the request, take a bounded
+// worker slot (honouring client disconnect while queued), run the handler,
+// and map errors to JSON error bodies.
+func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.met.requests.Add(1)
+		if err := s.acquire(r.Context()); err != nil {
+			s.met.rejected.Add(1)
+			s.met.errors.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable, errBody(err))
+			return
+		}
+		s.met.inFlight.Add(1)
+		defer func() {
+			s.met.inFlight.Add(-1)
+			s.release()
+		}()
+		v, err := h(r)
+		if err != nil {
+			status := http.StatusInternalServerError
+			var he *httpError
+			switch {
+			case errors.As(err, &he):
+				status = he.status
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+				errors.Is(err, ErrCacheFull):
+				status = http.StatusServiceUnavailable
+			case errors.Is(err, ErrUnknownGraph):
+				status = http.StatusNotFound
+			}
+			s.met.errors.Add(1)
+			writeJSON(w, status, errBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+	}
+}
+
+func errBody(err error) map[string]string { return map[string]string{"error": err.Error()} }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// --- request parameter parsing ---
+
+type buildParams struct {
+	graph string
+	tau   int
+	seed  uint64
+	algo  string
+}
+
+// parseBuildParams resolves the artifact-selecting parameters, falling
+// back to the server's configured defaults for any the client omitted, so
+// parameter-less clients share the artifact the daemon prebuilt at
+// startup.
+func (s *Server) parseBuildParams(r *http.Request) (buildParams, error) {
+	q := r.URL.Query()
+	p := buildParams{graph: q.Get("graph"), algo: q.Get("algo"), seed: s.cfg.DefaultSeed}
+	if p.graph == "" {
+		return p, badRequest("missing graph parameter")
+	}
+	if p.algo == "" {
+		p.algo = s.cfg.DefaultAlgorithm
+	}
+	if _, err := parseAlgorithm(p.algo); err != nil {
+		return p, badRequest("%v", err)
+	}
+	if v := q.Get("tau"); v != "" {
+		tau, err := strconv.Atoi(v)
+		if err != nil || tau < 0 {
+			return p, badRequest("bad tau %q", v)
+		}
+		p.tau = tau
+	}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return p, badRequest("bad seed %q", v)
+		}
+		p.seed = seed
+	}
+	return p, nil
+}
+
+// parseNodeID is the syntactic half of node validation, run before any
+// artifact build so malformed requests fail fast without costing (or
+// cache-churning) a multi-second decomposition.
+func parseNodeID(r *http.Request, name string) (graph.NodeID, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return 0, badRequest("missing %s parameter", name)
+	}
+	id, err := strconv.ParseInt(v, 10, 32)
+	if err != nil || id < 0 {
+		return 0, badRequest("bad node id %s=%q", name, v)
+	}
+	return graph.NodeID(id), nil
+}
+
+// checkNodeRange is the semantic half, run against the oracle's own graph
+// (not a separate registry fetch — RegisterGraph may swap the topology
+// concurrently).
+func checkNodeRange(name string, id graph.NodeID, g *graph.Graph) error {
+	if int(id) >= g.NumNodes() {
+		return badRequest("node %s=%d out of range [0, %d)", name, id, g.NumNodes())
+	}
+	return nil
+}
+
+// --- endpoint handlers ---
+
+// DistanceResponse answers /distance. Distance is the oracle upper bound
+// (exact within a cluster's star, O(log³n)-approximate across clusters);
+// Lower is the certified hop lower bound from the quotient graph.
+// Reachable is false (and the bounds -1) for nodes in different components.
+type DistanceResponse struct {
+	Graph     string `json:"graph"`
+	U         int32  `json:"u"`
+	V         int32  `json:"v"`
+	Reachable bool   `json:"reachable"`
+	Distance  int64  `json:"distance"`
+	Lower     int64  `json:"lower"`
+	ClusterU  int32  `json:"cluster_u"`
+	ClusterV  int32  `json:"cluster_v"`
+}
+
+func (s *Server) handleDistance(r *http.Request) (any, error) {
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return nil, err
+	}
+	u, err := parseNodeID(r, "u")
+	if err != nil {
+		return nil, err
+	}
+	v, err := parseNodeID(r, "v")
+	if err != nil {
+		return nil, err
+	}
+	o, err := s.Oracle(r.Context(), p.graph, p.tau, p.seed, p.algo)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNodeRange("u", u, o.Clustering().G); err != nil {
+		return nil, err
+	}
+	if err := checkNodeRange("v", v, o.Clustering().G); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	d := o.Query(u, v)
+	lower := o.LowerQuery(u, v)
+	s.met.queries.Add(1)
+	s.met.queryNs.Add(time.Since(start).Nanoseconds())
+	resp := DistanceResponse{
+		Graph:     p.graph,
+		U:         u,
+		V:         v,
+		Reachable: d != graph.InfDist,
+		Distance:  d,
+		Lower:     lower,
+		ClusterU:  o.Clustering().Owner[u],
+		ClusterV:  o.Clustering().Owner[v],
+	}
+	if !resp.Reachable {
+		resp.Distance, resp.Lower = -1, -1
+	}
+	return resp, nil
+}
+
+// ClusterOfResponse answers /cluster-of: the decomposition coordinates of
+// one node (cluster index, its center, the growth distance to it, and the
+// cluster radius).
+type ClusterOfResponse struct {
+	Graph         string `json:"graph"`
+	U             int32  `json:"u"`
+	Cluster       int32  `json:"cluster"`
+	Center        int32  `json:"center"`
+	DistToCenter  int32  `json:"dist_to_center"`
+	ClusterRadius int32  `json:"cluster_radius"`
+	NumClusters   int    `json:"num_clusters"`
+}
+
+func (s *Server) handleClusterOf(r *http.Request) (any, error) {
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return nil, err
+	}
+	u, err := parseNodeID(r, "u")
+	if err != nil {
+		return nil, err
+	}
+	o, err := s.Oracle(r.Context(), p.graph, p.tau, p.seed, p.algo)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNodeRange("u", u, o.Clustering().G); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cl := o.Clustering()
+	c := cl.Owner[u]
+	resp := ClusterOfResponse{
+		Graph:         p.graph,
+		U:             u,
+		Cluster:       c,
+		Center:        cl.Centers[c],
+		DistToCenter:  cl.Dist[u],
+		ClusterRadius: cl.Radii[c],
+		NumClusters:   cl.NumClusters(),
+	}
+	s.met.queries.Add(1)
+	s.met.queryNs.Add(time.Since(start).Nanoseconds())
+	return resp, nil
+}
+
+// DiameterResponse answers /diameter with the certified bounds of
+// Section 4: Lower = ∆C ≤ diameter ≤ Upper = 2R + ∆′C.
+type DiameterResponse struct {
+	Graph       string `json:"graph"`
+	Lower       int64  `json:"lower"`
+	Upper       int64  `json:"upper"`
+	RMax        int32  `json:"r_max"`
+	NumClusters int    `json:"num_clusters"`
+	Exact       bool   `json:"quotient_exact"`
+}
+
+func (s *Server) handleDiameter(r *http.Request) (any, error) {
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Diameter(r.Context(), p.graph, p.tau, p.seed, p.algo)
+	if err != nil {
+		return nil, err
+	}
+	return DiameterResponse{
+		Graph:       p.graph,
+		Lower:       res.DeltaC,
+		Upper:       res.Upper,
+		RMax:        res.RMax,
+		NumClusters: res.Clustering.NumClusters(),
+		Exact:       res.Exact,
+	}, nil
+}
+
+// KCenterResponse answers /kcenter: the selected centers and the exact
+// radius of the solution (max distance of any node to its nearest center).
+type KCenterResponse struct {
+	Graph   string  `json:"graph"`
+	K       int     `json:"k"`
+	Centers []int32 `json:"centers"`
+	Radius  int32   `json:"radius"`
+	Merged  bool    `json:"merged"`
+}
+
+func (s *Server) handleKCenter(r *http.Request) (any, error) {
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return nil, err
+	}
+	kStr := r.URL.Query().Get("k")
+	if kStr == "" {
+		return nil, badRequest("missing k parameter")
+	}
+	k, err := strconv.Atoi(kStr)
+	if err != nil || k < 1 {
+		return nil, badRequest("bad k %q", kStr)
+	}
+	res, err := s.KCenter(r.Context(), p.graph, k, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	return KCenterResponse{
+		Graph:   p.graph,
+		K:       k,
+		Centers: res.Centers,
+		Radius:  res.Radius,
+		Merged:  res.Merged,
+	}, nil
+}

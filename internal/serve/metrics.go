@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// metrics aggregates request/build counters with atomics so the hot query
+// path never takes the server lock. Snapshot renders them for /stats.
+type metrics struct {
+	requests  atomic.Int64 // all HTTP requests
+	errors    atomic.Int64 // requests answered with a non-2xx status
+	queries   atomic.Int64 // point queries served (distance + cluster-of)
+	queryNs   atomic.Int64 // cumulative handling time of point queries
+	hits      atomic.Int64 // artifact cache hits (incl. joins on in-flight builds)
+	misses    atomic.Int64 // artifact cache misses (each triggers one build)
+	builds    atomic.Int64 // builds actually executed
+	buildNs   atomic.Int64 // cumulative build time
+	installs  atomic.Int64 // artifacts installed from snapshots
+	evictions atomic.Int64 // artifacts dropped by the LRU cache bound
+	rejected  atomic.Int64 // requests cancelled while queued for a worker
+	inFlight  atomic.Int64 // requests currently holding a worker slot
+}
+
+func (m *metrics) buildTimer() func() {
+	start := time.Now()
+	return func() {
+		m.builds.Add(1)
+		m.buildNs.Add(time.Since(start).Nanoseconds())
+	}
+}
+
+// Stats is the JSON shape of the /stats endpoint.
+type Stats struct {
+	Requests       int64   `json:"requests"`
+	Errors         int64   `json:"errors"`
+	Queries        int64   `json:"queries"`
+	AvgQueryMicros float64 `json:"avg_query_micros"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	Builds         int64   `json:"builds"`
+	AvgBuildMillis float64 `json:"avg_build_millis"`
+	Installs       int64   `json:"snapshot_installs"`
+	Evictions      int64   `json:"evictions"`
+	Rejected       int64   `json:"rejected"`
+	InFlight       int64   `json:"in_flight"`
+	Workers        int     `json:"workers"`
+	Graphs         int     `json:"graphs"`
+	Artifacts      int     `json:"artifacts"`
+}
+
+// Stats returns a point-in-time view of the server's counters.
+func (s *Server) Stats() Stats {
+	m := &s.met
+	st := Stats{
+		Requests:    m.requests.Load(),
+		Errors:      m.errors.Load(),
+		Queries:     m.queries.Load(),
+		CacheHits:   m.hits.Load(),
+		CacheMisses: m.misses.Load(),
+		Builds:      m.builds.Load(),
+		Installs:    m.installs.Load(),
+		Evictions:   m.evictions.Load(),
+		Rejected:    m.rejected.Load(),
+		InFlight:    m.inFlight.Load(),
+		Workers:     s.cfg.Workers,
+	}
+	if st.Queries > 0 {
+		st.AvgQueryMicros = float64(m.queryNs.Load()) / float64(st.Queries) / 1e3
+	}
+	if st.Builds > 0 {
+		st.AvgBuildMillis = float64(m.buildNs.Load()) / float64(st.Builds) / 1e6
+	}
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		st.HitRate = float64(st.CacheHits) / float64(lookups)
+	}
+	s.mu.RLock()
+	st.Graphs = len(s.graphs)
+	st.Artifacts = len(s.cache)
+	s.mu.RUnlock()
+	return st
+}

@@ -1,0 +1,467 @@
+// Package serve turns the batch reproduction into an online system: a
+// Server loads one or more graphs, builds the paper's artifacts
+// (distance oracle, diameter bounds, k-center solutions) on first use, and
+// answers point queries over HTTP/JSON from many concurrent clients.
+//
+// The design follows the paper's own cost split: builds are the expensive
+// parallel phase (seconds), queries are O(1) table lookups (microseconds).
+// Accordingly the server keeps a per-artifact cache keyed by
+// (graph, τ, seed, algorithm), deduplicates concurrent builds of the same
+// key single-flight style, and bounds total build+query concurrency with a
+// worker pool so a traffic spike degrades to queueing instead of memory
+// blow-up. Artifacts persisted with internal/snapshot can be installed at
+// startup, so a restart skips the rebuild entirely.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/snapshot"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers bounds the number of requests executing (building or
+	// querying) at once; further requests queue. Non-positive selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+
+	// DefaultTau is used when a request does not specify τ; non-positive
+	// selects the per-artifact paper default (core.DefaultOracleTau for
+	// oracles, the quotient-size heuristic for diameter).
+	DefaultTau int
+
+	// DefaultSeed is used when a request does not specify a seed. Clients
+	// that omit build parameters then share one artifact — in the daemon,
+	// the one prebuilt (or snapshot-loaded) at startup.
+	DefaultSeed uint64
+
+	// DefaultAlgorithm ("cluster" or "cluster2") is used when a request
+	// does not specify algo. Empty means "cluster".
+	DefaultAlgorithm string
+
+	// BuildWorkers is the parallelism handed to the decomposition builds
+	// (core.Options.Workers). Non-positive selects GOMAXPROCS.
+	BuildWorkers int
+
+	// MaxArtifacts bounds the artifact cache. Build parameters are
+	// client-controlled, so without a bound any client could mint
+	// unlimited (tau, seed) keys and OOM the server one multi-second
+	// build at a time. At the cap the least-recently-used completed
+	// artifact is evicted; if every slot is an in-flight build, new keys
+	// are rejected with ErrCacheFull. Non-positive selects 128.
+	MaxArtifacts int
+}
+
+// Key identifies a build artifact: which graph, which algorithm, and the
+// parameters the build is deterministic in. Kind separates artifact
+// families that share a graph ("oracle", "diameter", "kcenter"); Tau
+// doubles as k for the kcenter family.
+type Key struct {
+	Graph     string
+	Kind      string
+	Tau       int
+	Seed      uint64
+	Algorithm string
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s(tau=%d,seed=%d,%s)", k.Graph, k.Kind, k.Tau, k.Seed, k.Algorithm)
+}
+
+// ErrCacheFull is returned when a new artifact key arrives while every
+// cache slot holds an in-flight build; the HTTP layer maps it to 503.
+var ErrCacheFull = errors.New("serve: artifact cache full of in-flight builds")
+
+// entry is a cache slot. ready is closed when val/err are set; concurrent
+// requests for an in-flight key block on it instead of duplicating the
+// build (single flight). lastUsed is the server's logical clock at the
+// entry's most recent touch, driving LRU eviction; completed entries are
+// recognized by their closed ready channel.
+type entry struct {
+	ready    chan struct{}
+	val      any
+	err      error
+	lastUsed atomic.Int64
+}
+
+func (e *entry) completed() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Server is the query service. Create with New, register graphs (and
+// optionally snapshot artifacts), then serve via Handler.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	clock atomic.Int64 // logical time for LRU bookkeeping
+
+	mu     sync.RWMutex
+	graphs map[string]*graph.Graph
+	cache  map[Key]*entry
+
+	met metrics
+}
+
+// New returns a Server with an empty graph registry.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxArtifacts <= 0 {
+		cfg.MaxArtifacts = 128
+	}
+	return &Server{
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.Workers),
+		graphs: make(map[string]*graph.Graph),
+		cache:  make(map[Key]*entry),
+	}
+}
+
+// RegisterGraph makes g queryable under the given name, replacing any
+// previous registration. Artifacts cached for an earlier graph of the same
+// name are dropped (they answer for the old topology).
+func (s *Server) RegisterGraph(name string, g *graph.Graph) error {
+	if name == "" {
+		return errors.New("serve: empty graph name")
+	}
+	if g == nil || g.NumNodes() == 0 {
+		return errors.New("serve: nil or empty graph")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.graphs[name]; exists {
+		for k := range s.cache {
+			if k.Graph == name {
+				delete(s.cache, k)
+			}
+		}
+	}
+	s.graphs[name] = g
+	return nil
+}
+
+// InstallSnapshot registers the artifact's graph under its snapshot name
+// and, if the artifact carries an oracle, seeds the cache with it — a
+// restart path that skips the oracle build entirely.
+func (s *Server) InstallSnapshot(a *snapshot.Artifact) error {
+	if a == nil || a.Graph == nil {
+		return errors.New("serve: nil snapshot artifact")
+	}
+	name := a.Meta.GraphName
+	if name == "" {
+		return errors.New("serve: snapshot has no graph name")
+	}
+	if err := s.RegisterGraph(name, a.Graph); err != nil {
+		return err
+	}
+	if a.Oracle == nil {
+		return nil
+	}
+	algo := a.Meta.Algorithm
+	if algo == "" {
+		algo = "cluster"
+	}
+	key := Key{Graph: name, Kind: "oracle", Tau: a.Meta.Tau, Seed: a.Meta.Seed, Algorithm: algo}
+	e := &entry{ready: make(chan struct{}), val: a.Oracle}
+	e.lastUsed.Store(s.clock.Add(1))
+	close(e.ready)
+	s.mu.Lock()
+	if len(s.cache) >= s.cfg.MaxArtifacts {
+		s.evictLRULocked()
+	}
+	s.cache[key] = e
+	s.mu.Unlock()
+	s.met.installs.Add(1)
+	return nil
+}
+
+// ErrUnknownGraph is wrapped by Graph for unregistered names; the HTTP
+// layer maps it to 404.
+var ErrUnknownGraph = errors.New("serve: unknown graph")
+
+// Graph returns the registered graph, or an error (wrapping
+// ErrUnknownGraph) naming the known graphs.
+func (s *Server) Graph(name string) (*graph.Graph, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if g, ok := s.graphs[name]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownGraph, name, s.graphNamesLocked())
+}
+
+// GraphNames lists the registered graphs in sorted order.
+func (s *Server) GraphNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.graphNamesLocked()
+}
+
+func (s *Server) graphNamesLocked() []string {
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// acquire takes a worker slot, honouring ctx cancellation while queued.
+func (s *Server) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// artifact returns the cached value for key, building it with build on
+// first use. Exactly one build runs per key however many requests race;
+// the rest block until it completes (or ctx is cancelled — the build
+// itself keeps running for the requests still waiting on it). A failed
+// build is not cached: the entry is removed so a later request can retry.
+func (s *Server) artifact(ctx context.Context, key Key, build func() (any, error)) (any, error) {
+	// Fast path: cache hits (the steady state of the query workload) only
+	// take the read lock, so concurrent queries never serialize on s.mu.
+	s.mu.RLock()
+	e, ok := s.cache[key]
+	s.mu.RUnlock()
+	if !ok {
+		s.mu.Lock()
+		if e, ok = s.cache[key]; !ok {
+			// Still absent under the write lock: this request builds.
+			if len(s.cache) >= s.cfg.MaxArtifacts {
+				if !s.evictLRULocked() {
+					s.mu.Unlock()
+					return nil, ErrCacheFull
+				}
+			}
+			e = &entry{ready: make(chan struct{})}
+			e.lastUsed.Store(s.clock.Add(1))
+			s.cache[key] = e
+			s.mu.Unlock()
+			return s.runBuild(key, e, build)
+		}
+		s.mu.Unlock()
+	}
+	e.lastUsed.Store(s.clock.Add(1))
+	select {
+	case <-e.ready:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	s.met.hits.Add(1)
+	return e.val, nil
+}
+
+// evictLRULocked removes the least-recently-used completed entry, making
+// room for a new build. In-flight builds are never evicted (waiters hold
+// references to them). Returns false if nothing was evictable. Caller
+// holds s.mu.
+func (s *Server) evictLRULocked() bool {
+	var (
+		victim    Key
+		victimAge int64
+		found     bool
+	)
+	for k, e := range s.cache {
+		if !e.completed() {
+			continue
+		}
+		if age := e.lastUsed.Load(); !found || age < victimAge {
+			victim, victimAge, found = k, age, true
+		}
+	}
+	if found {
+		delete(s.cache, victim)
+		s.met.evictions.Add(1)
+	}
+	return found
+}
+
+func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, error) {
+	s.met.misses.Add(1)
+
+	stop := s.met.buildTimer()
+	e.val, e.err = build()
+	stop()
+	if e.err != nil {
+		s.mu.Lock()
+		// Only drop the entry if it is still ours: RegisterGraph may have
+		// already replaced the graph and pruned the key.
+		if cur, ok := s.cache[key]; ok && cur == e {
+			delete(s.cache, key)
+		}
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	return e.val, e.err
+}
+
+// oracleKey resolves the cache key for an oracle request: tau <= 0 falls
+// back to Config.DefaultTau, then the paper default for the graph's size;
+// the algorithm name is canonicalized. The same resolution feeds Oracle
+// and SnapshotArtifact, so a persisted Meta always round-trips to the key
+// parameter-less requests hit after a warm restart.
+func (s *Server) oracleKey(name string, tau int, seed uint64, algorithm string) (Key, *graph.Graph, bool, error) {
+	g, err := s.Graph(name)
+	if err != nil {
+		return Key{}, nil, false, err
+	}
+	if tau <= 0 {
+		tau = s.cfg.DefaultTau
+	}
+	if tau <= 0 {
+		tau = core.DefaultOracleTau(g.NumNodes())
+	}
+	useCluster2, err := parseAlgorithm(algorithm)
+	if err != nil {
+		return Key{}, nil, false, err
+	}
+	key := Key{Graph: name, Kind: "oracle", Tau: tau, Seed: seed, Algorithm: canonicalAlgorithm(useCluster2)}
+	return key, g, useCluster2, nil
+}
+
+// Oracle returns the distance oracle for the key's graph and build
+// parameters, building and caching it on first use. tau <= 0 selects
+// Config.DefaultTau, then the paper default.
+func (s *Server) Oracle(ctx context.Context, name string, tau int, seed uint64, algorithm string) (*core.Oracle, error) {
+	key, _, useCluster2, err := s.oracleKey(name, tau, seed, algorithm)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.artifact(ctx, key, func() (any, error) {
+		// Re-fetch inside the build: a RegisterGraph swap between key
+		// resolution and here must not bake a stale topology into the
+		// cache.
+		g, err := s.Graph(key.Graph)
+		if err != nil {
+			return nil, err
+		}
+		return core.BuildOracle(g, key.Tau, useCluster2, s.buildOptions(seed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.Oracle), nil
+}
+
+// Diameter returns the cached diameter bounds for the key's graph.
+func (s *Server) Diameter(ctx context.Context, name string, tau int, seed uint64, algorithm string) (*core.DiameterResult, error) {
+	if _, err := s.Graph(name); err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		tau = s.cfg.DefaultTau
+	}
+	useCluster2, err := parseAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	key := Key{Graph: name, Kind: "diameter", Tau: tau, Seed: seed, Algorithm: canonicalAlgorithm(useCluster2)}
+	v, err := s.artifact(ctx, key, func() (any, error) {
+		g, err := s.Graph(key.Graph)
+		if err != nil {
+			return nil, err
+		}
+		return core.ApproxDiameter(g, core.DiameterOptions{
+			Options:     s.buildOptions(seed),
+			Tau:         tau,
+			UseCluster2: useCluster2,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.DiameterResult), nil
+}
+
+// KCenter returns the cached k-center solution for the key's graph.
+func (s *Server) KCenter(ctx context.Context, name string, k int, seed uint64) (*core.KCenterResult, error) {
+	if _, err := s.Graph(name); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, errors.New("serve: k must be >= 1")
+	}
+	key := Key{Graph: name, Kind: "kcenter", Tau: k, Seed: seed, Algorithm: "cluster"}
+	v, err := s.artifact(ctx, key, func() (any, error) {
+		g, err := s.Graph(key.Graph)
+		if err != nil {
+			return nil, err
+		}
+		return core.KCenter(g, k, s.buildOptions(seed))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*core.KCenterResult), nil
+}
+
+// SnapshotArtifact assembles the persistable artifact for an oracle key,
+// building the oracle if it is not cached yet. The daemon uses this to
+// write its snapshot after the first build; Meta carries the resolved key
+// so InstallSnapshot re-seeds exactly the slot future requests look up.
+func (s *Server) SnapshotArtifact(ctx context.Context, name string, tau int, seed uint64, algorithm string) (*snapshot.Artifact, error) {
+	key, _, _, err := s.oracleKey(name, tau, seed, algorithm)
+	if err != nil {
+		return nil, err
+	}
+	o, err := s.Oracle(ctx, name, key.Tau, seed, key.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot.Artifact{
+		Meta: snapshot.Meta{
+			GraphName: key.Graph,
+			Tau:       key.Tau,
+			Seed:      key.Seed,
+			Algorithm: key.Algorithm,
+		},
+		Graph:  o.Clustering().G,
+		Oracle: o,
+	}, nil
+}
+
+func (s *Server) buildOptions(seed uint64) core.Options {
+	return core.Options{Seed: seed, Workers: s.cfg.BuildWorkers}
+}
+
+func parseAlgorithm(algorithm string) (useCluster2 bool, err error) {
+	switch algorithm {
+	case "", "cluster":
+		return false, nil
+	case "cluster2":
+		return true, nil
+	default:
+		return false, fmt.Errorf("serve: unknown algorithm %q (want cluster or cluster2)", algorithm)
+	}
+}
+
+func canonicalAlgorithm(useCluster2 bool) string {
+	if useCluster2 {
+		return "cluster2"
+	}
+	return "cluster"
+}

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/snapshot"
+)
+
+func newTestServer(t *testing.T, name string, g *graph.Graph) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 8})
+	if err := s.RegisterGraph(name, g); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			t.Fatalf("unmarshal %q: %v", body, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// The acceptance test: ≥32 parallel clients hammer /distance and every
+// answer must equal a direct Oracle.Query call with the same build
+// parameters.
+func TestDistanceMatchesOracleUnderParallelClients(t *testing.T) {
+	g := graph.RoadLike(60, 60, 0.4, 17)
+	_, ts := newTestServer(t, "road", g)
+
+	// Reference oracle, built directly with the same (tau, seed, algo) key.
+	want, err := core.BuildOracle(g, 3, false, core.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 32
+	const queriesPerClient = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + id))
+			for q := 0; q < queriesPerClient; q++ {
+				u := r.Intn(g.NumNodes())
+				v := r.Intn(g.NumNodes())
+				var resp DistanceResponse
+				url := fmt.Sprintf("%s/distance?graph=road&tau=3&seed=7&u=%d&v=%d", ts.URL, u, v)
+				code := 0
+				{
+					res, err := http.Get(url)
+					if err != nil {
+						errs <- err
+						return
+					}
+					body, _ := io.ReadAll(res.Body)
+					res.Body.Close()
+					code = res.StatusCode
+					if err := json.Unmarshal(body, &resp); err != nil {
+						errs <- fmt.Errorf("client %d: %v (%s)", id, err, body)
+						return
+					}
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("client %d: status %d", id, code)
+					return
+				}
+				wantD := want.Query(graph.NodeID(u), graph.NodeID(v))
+				wantL := want.LowerQuery(graph.NodeID(u), graph.NodeID(v))
+				if wantD == graph.InfDist {
+					if resp.Reachable {
+						errs <- fmt.Errorf("(%d,%d): reachable=true, want unreachable", u, v)
+						return
+					}
+					continue
+				}
+				if !resp.Reachable || resp.Distance != wantD || resp.Lower != wantL {
+					errs <- fmt.Errorf("(%d,%d): got (%d,%d,%v) want (%d,%d,true)",
+						u, v, resp.Distance, resp.Lower, resp.Reachable, wantD, wantL)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// All concurrent first requests for one artifact key must share a single
+// build (single-flight), and later requests must hit the cache.
+func TestSingleFlightBuild(t *testing.T) {
+	g := graph.Mesh(80, 80)
+	s, ts := newTestServer(t, "mesh", g)
+
+	const clients = 32
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/distance?graph=mesh&tau=2&seed=5&u=%d&v=%d", ts.URL, id, id+100)
+			if code := getStatus(t, url); code != http.StatusOK {
+				t.Errorf("client %d: status %d", id, code)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Builds != 1 {
+		t.Fatalf("%d builds for one key under %d concurrent clients, want 1", st.Builds, clients)
+	}
+	if st.CacheMisses != 1 || st.CacheHits != clients-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", st.CacheHits, st.CacheMisses, clients-1)
+	}
+
+	// A different key must trigger its own build.
+	if code := getStatus(t, ts.URL+"/distance?graph=mesh&tau=2&seed=6&u=0&v=1"); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if st := s.Stats(); st.Builds != 2 {
+		t.Fatalf("builds = %d after second key, want 2", st.Builds)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// A snapshot-seeded server must answer identically to the server that
+// built the artifact, without running any build.
+func TestSnapshotRestartSkipsBuild(t *testing.T) {
+	g := graph.RoadLike(50, 50, 0.4, 23)
+	s1 := New(Config{Workers: 4})
+	if err := s1.RegisterGraph("road", g); err != nil {
+		t.Fatal(err)
+	}
+	art, err := s1.SnapshotArtifact(context.Background(), "road", 3, 9, "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server seeded only from the snapshot bytes.
+	loaded, err := snapshot.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 4})
+	if err := s2.InstallSnapshot(loaded); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		u := r.Intn(g.NumNodes())
+		v := r.Intn(g.NumNodes())
+		var resp DistanceResponse
+		url := fmt.Sprintf("%s/distance?graph=road&tau=3&seed=9&u=%d&v=%d", ts.URL, u, v)
+		if code := getJSON(t, url, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		want := art.Oracle.Query(graph.NodeID(u), graph.NodeID(v))
+		if want == graph.InfDist {
+			if resp.Reachable {
+				t.Fatalf("(%d,%d) should be unreachable", u, v)
+			}
+			continue
+		}
+		if resp.Distance != want {
+			t.Fatalf("(%d,%d) = %d want %d", u, v, resp.Distance, want)
+		}
+	}
+	st := s2.Stats()
+	if st.Builds != 0 {
+		t.Fatalf("snapshot-seeded server ran %d builds, want 0", st.Builds)
+	}
+	if st.Installs != 1 {
+		t.Fatalf("installs = %d, want 1", st.Installs)
+	}
+}
+
+func TestClusterOfConsistentWithDistance(t *testing.T) {
+	g := graph.Mesh(40, 40)
+	s, ts := newTestServer(t, "mesh", g)
+
+	o, err := s.Oracle(context.Background(), "mesh", 2, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := o.Clustering()
+	for _, u := range []int{0, 5, 799, 1599} {
+		var resp ClusterOfResponse
+		url := fmt.Sprintf("%s/cluster-of?graph=mesh&tau=2&seed=1&u=%d", ts.URL, u)
+		if code := getJSON(t, url, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if resp.Cluster != cl.Owner[u] || resp.Center != cl.Centers[resp.Cluster] ||
+			resp.DistToCenter != cl.Dist[u] {
+			t.Fatalf("u=%d: %+v inconsistent with clustering", u, resp)
+		}
+	}
+}
+
+func TestDiameterEndpointCertifiedBounds(t *testing.T) {
+	g := graph.Mesh(50, 50)
+	_, ts := newTestServer(t, "mesh", g)
+	var resp DiameterResponse
+	if code := getJSON(t, ts.URL+"/diameter?graph=mesh&tau=4&seed=2", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	truth := int64(98) // 49+49 on a 50x50 mesh
+	if resp.Lower > truth || resp.Upper < truth {
+		t.Fatalf("bounds [%d, %d] do not bracket true diameter %d", resp.Lower, resp.Upper, truth)
+	}
+}
+
+func TestKCenterEndpoint(t *testing.T) {
+	g := graph.RoadLike(40, 40, 0.4, 5)
+	_, ts := newTestServer(t, "road", g)
+	var resp KCenterResponse
+	if code := getJSON(t, ts.URL+"/kcenter?graph=road&k=16&seed=3", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(resp.Centers) == 0 || len(resp.Centers) > 16 {
+		t.Fatalf("%d centers, want 1..16", len(resp.Centers))
+	}
+	// Radius is evaluated exactly server-side; re-check it here.
+	radius, err := core.EvalCenters(g, resp.Centers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if radius != resp.Radius {
+		t.Fatalf("radius %d, server says %d", radius, resp.Radius)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	g := graph.Mesh(10, 10)
+	_, ts := newTestServer(t, "mesh", g)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/distance?graph=nope&u=0&v=1", http.StatusNotFound},
+		{"/distance?graph=mesh&u=0", http.StatusBadRequest},           // missing v
+		{"/distance?graph=mesh&u=0&v=100000", http.StatusBadRequest},  // out of range
+		{"/distance?graph=mesh&u=-1&v=1", http.StatusBadRequest},      // negative
+		{"/distance?graph=mesh&u=0&v=1&tau=x", http.StatusBadRequest}, // bad tau
+		{"/distance?graph=mesh&u=0&v=1&algo=bogus", http.StatusBadRequest},
+		{"/distance?u=0&v=1", http.StatusBadRequest},   // missing graph
+		{"/kcenter?graph=mesh", http.StatusBadRequest}, // missing k
+		{"/kcenter?graph=mesh&k=0", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if code := getStatus(t, ts.URL+c.url); code != c.code {
+			t.Errorf("%s: status %d want %d", c.url, code, c.code)
+		}
+	}
+	var st Stats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Errors != int64(len(cases)) {
+		t.Errorf("errors = %d want %d", st.Errors, len(cases))
+	}
+}
+
+// Replacing a graph under the same name must drop its cached artifacts so
+// queries never answer against stale topology.
+func TestRegisterGraphInvalidatesArtifacts(t *testing.T) {
+	s := New(Config{Workers: 2})
+	if err := s.RegisterGraph("g", graph.Mesh(20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Oracle(context.Background(), "g", 2, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Artifacts != 1 {
+		t.Fatalf("artifacts = %d want 1", st.Artifacts)
+	}
+	if err := s.RegisterGraph("g", graph.Mesh(30, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Artifacts != 0 {
+		t.Fatalf("artifacts = %d after re-register, want 0", st.Artifacts)
+	}
+	o, err := s.Oracle(context.Background(), "g", 2, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Clustering().G.NumNodes(); n != 900 {
+		t.Fatalf("oracle over %d nodes, want 900 (new graph)", n)
+	}
+}
+
+// The artifact cache must stay bounded under client-minted keys: the
+// least-recently-used completed artifact is evicted at the cap.
+func TestArtifactCacheBounded(t *testing.T) {
+	s := New(Config{Workers: 2, MaxArtifacts: 3})
+	if err := s.RegisterGraph("g", graph.Mesh(20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 5; seed++ {
+		if _, err := s.Oracle(context.Background(), "g", 2, seed, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Artifacts != 3 {
+		t.Fatalf("artifacts = %d, want cap 3", st.Artifacts)
+	}
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	// The most recent key must still be cached (no build on re-request).
+	builds := st.Builds
+	if _, err := s.Oracle(context.Background(), "g", 2, 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Builds != builds {
+		t.Fatalf("re-request of recent key rebuilt (builds %d -> %d)", builds, st.Builds)
+	}
+	// The evicted oldest key rebuilds.
+	if _, err := s.Oracle(context.Background(), "g", 2, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Builds != builds+1 {
+		t.Fatalf("evicted key did not rebuild (builds %d -> %d)", builds, st.Builds)
+	}
+}
+
+// A failed build must not poison the cache.
+func TestFailedBuildRetries(t *testing.T) {
+	s := New(Config{Workers: 2})
+	// With τ ≥ n every node is selected as a center, so a 100×100 mesh
+	// yields 10000 clusters — past the oracle's 8192-cluster cap, which
+	// makes the build fail deterministically.
+	if err := s.RegisterGraph("g", graph.Mesh(100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Oracle(context.Background(), "g", 10000, 1, ""); err == nil {
+		t.Fatal("expected the huge tau to exceed the oracle cluster cap")
+	}
+	// The same key must be retryable (and fail again, not deadlock).
+	if _, err := s.Oracle(context.Background(), "g", 10000, 1, ""); err == nil {
+		t.Fatal("second attempt unexpectedly succeeded")
+	}
+	if st := s.Stats(); st.Builds != 2 {
+		t.Fatalf("builds = %d, want 2 (failed builds are not cached)", st.Builds)
+	}
+}

@@ -1,0 +1,484 @@
+// Package snapshot is a versioned binary codec for the repository's heavy
+// build artifacts: the CSR graph and the distance oracle (decomposition +
+// quotient APSP tables). Building an oracle over a large graph takes
+// seconds to minutes; decoding a snapshot is a sequential read, so a
+// long-running server (cmd/reprod) can restart in milliseconds by loading
+// the artifact it persisted on a previous run.
+//
+// Format (all integers little-endian, fixed width):
+//
+//	magic "RPSN" | version u16 | flags u16
+//	meta: graphName, algorithm (u32 length + bytes), tau i64, seed u64
+//	graph: n u64, arcs u64, xadj [n+1]i64, adj [arcs]i32
+//	oracle (iff flags&FlagOracle):
+//	    owner [n]i32, dist [n]i32,
+//	    k u64, centers [k]i32, radii [k]i32,
+//	    growthSteps i64, batches i64,
+//	    stats (rounds i64, messages i64, maxFrontier i64),
+//	    apsp [k*k]i64, hops [k*k]i64
+//	crc32 u32 (IEEE, over everything above)
+//
+// Decoding verifies the checksum and re-validates structural invariants
+// (graph.FromCSR, core.OracleFromParts), so a truncated or bit-flipped
+// snapshot yields an error rather than a corrupt in-memory artifact.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+var magic = [4]byte{'R', 'P', 'S', 'N'}
+
+// Version is the current format version. Readers reject other versions.
+const Version uint16 = 1
+
+const flagOracle uint16 = 1 << 0
+
+// maxName bounds the decoded metadata strings; maxSide bounds node/arc/
+// cluster counts read from the header so a corrupted length field cannot
+// trigger a huge allocation before the checksum is verified.
+const (
+	maxName = 1 << 16
+	maxSide = 1 << 31
+)
+
+// ErrChecksum is returned (wrapped) when the trailing CRC32 does not match
+// the decoded payload.
+var ErrChecksum = errors.New("snapshot: checksum mismatch")
+
+// Meta identifies the build that produced an artifact — the cache key
+// (graph, τ, seed, algorithm) of the serving layer.
+type Meta struct {
+	// GraphName is the symbolic name the graph is served under.
+	GraphName string
+	// Tau is the decomposition granularity the oracle was built with.
+	Tau int
+	// Seed is the decomposition seed.
+	Seed uint64
+	// Algorithm is "cluster" or "cluster2".
+	Algorithm string
+}
+
+// Artifact is the unit of persistence: a graph, optionally the distance
+// oracle built over it, and the metadata identifying the build.
+type Artifact struct {
+	Meta   Meta
+	Graph  *graph.Graph
+	Oracle *core.Oracle // nil when only the graph was persisted
+}
+
+// Write encodes the artifact to w. a.Graph must be non-nil; a.Oracle is
+// optional but, when present, must have been built over a.Graph.
+func Write(w io.Writer, a *Artifact) error {
+	if a == nil || a.Graph == nil {
+		return errors.New("snapshot: nil artifact or graph")
+	}
+	if a.Graph.NumNodes() == 0 {
+		// The empty graph's xadj is nil (not [0]), which the fixed n+1
+		// layout below cannot represent; serving rejects empty graphs
+		// anyway, so refuse at write time rather than emit bytes Read
+		// would reject.
+		return errors.New("snapshot: empty graph")
+	}
+	if a.Oracle != nil && a.Oracle.Clustering().G != a.Graph {
+		return errors.New("snapshot: oracle was not built over the artifact's graph")
+	}
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<20)
+	e := &encoder{w: bw}
+
+	e.bytes(magic[:])
+	e.u16(Version)
+	var flags uint16
+	if a.Oracle != nil {
+		flags |= flagOracle
+	}
+	e.u16(flags)
+
+	e.str(a.Meta.GraphName)
+	e.str(a.Meta.Algorithm)
+	e.i64(int64(a.Meta.Tau))
+	e.u64(a.Meta.Seed)
+
+	xadj, adj := a.Graph.CSR()
+	e.u64(uint64(a.Graph.NumNodes()))
+	e.u64(uint64(len(adj)))
+	e.i64s(xadj)
+	e.i32s(adj)
+
+	if a.Oracle != nil {
+		cl := a.Oracle.Clustering()
+		e.i32s(cl.Owner)
+		e.i32s(cl.Dist)
+		k := cl.NumClusters()
+		e.u64(uint64(k))
+		e.i32s(cl.Centers)
+		e.i32s(cl.Radii)
+		e.i64(int64(cl.GrowthSteps))
+		e.i64(int64(cl.Batches))
+		e.i64(int64(cl.Stats.Rounds))
+		e.i64(cl.Stats.Messages)
+		e.i64(int64(cl.Stats.MaxFrontier))
+		for _, row := range a.Oracle.APSP() {
+			e.i64s(row)
+		}
+		for _, row := range a.Oracle.Hops() {
+			e.i64s(row)
+		}
+	}
+	if e.err != nil {
+		return e.err
+	}
+	// The checksum covers everything buffered so far; flush before reading
+	// the hash state, then append the trailer outside the checksummed
+	// stream.
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], crc.Sum32())
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// Read decodes an artifact from r, verifying the checksum and structural
+// invariants. It fails with a wrapped ErrChecksum on bit corruption and
+// with io.ErrUnexpectedEOF (wrapped) on truncation.
+func Read(r io.Reader) (*Artifact, error) {
+	crc := crc32.NewIEEE()
+	d := &decoder{r: bufio.NewReaderSize(r, 1<<20), crc: crc}
+
+	var m [4]byte
+	d.bytes(m[:])
+	if d.err == nil && m != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", m[:])
+	}
+	version := d.u16()
+	if d.err == nil && version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (have %d)", version, Version)
+	}
+	flags := d.u16()
+
+	var meta Meta
+	meta.GraphName = d.str()
+	meta.Algorithm = d.str()
+	meta.Tau = int(d.i64())
+	meta.Seed = d.u64()
+
+	n := d.count("nodes")
+	arcs := d.count("arcs")
+	var g *graph.Graph
+	if d.err == nil {
+		xadj := d.i64s(n + 1)
+		adj := d.i32s(arcs)
+		if d.err == nil {
+			var err error
+			if g, err = graph.FromCSR(xadj, adj); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var o *core.Oracle
+	if d.err == nil && flags&flagOracle != 0 {
+		cl := &core.Clustering{G: g}
+		cl.Owner = d.i32s(n)
+		cl.Dist = d.i32s(n)
+		k := d.count("clusters")
+		cl.Centers = d.i32s(k)
+		cl.Radii = d.i32s(k)
+		cl.GrowthSteps = int(d.i64())
+		cl.Batches = int(d.i64())
+		cl.Stats = bsp.Stats{
+			Rounds:      int(d.i64()),
+			Messages:    d.i64(),
+			MaxFrontier: int(d.i64()),
+		}
+		apsp := make([][]int64, 0, k)
+		for i := 0; i < k && d.err == nil; i++ {
+			apsp = append(apsp, d.i64s(k))
+		}
+		hops := make([][]int64, 0, k)
+		for i := 0; i < k && d.err == nil; i++ {
+			hops = append(hops, d.i64s(k))
+		}
+		if d.err == nil {
+			var err error
+			if o, err = core.OracleFromParts(cl, apsp, hops); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+
+	// The trailer is read outside the checksummed region: compare the
+	// stored CRC against the hash of everything decoded above.
+	want := crc.Sum32()
+	var trailer [4]byte
+	if _, err := io.ReadFull(d.r, trailer[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: reading checksum: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(trailer[:]); got != want {
+		return nil, fmt.Errorf("%w: stored %08x, computed %08x", ErrChecksum, got, want)
+	}
+	return &Artifact{Meta: meta, Graph: g, Oracle: o}, nil
+}
+
+// Save writes the artifact to the named file (atomically via a temp file in
+// the same directory, so a crash mid-write never leaves a half snapshot at
+// the target path).
+func Save(path string, a *Artifact) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	if err := Write(tmp, a); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Flush file data before the rename: a journaled rename of un-synced
+	// data can survive a crash as a full-length file of garbage at the
+	// target path.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads an artifact from the named file.
+func Load(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// --- primitive encoding ---
+
+type encoder struct {
+	w       *bufio.Writer
+	scratch []byte
+	err     error
+}
+
+func (e *encoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+func (e *encoder) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.bytes(b[:])
+}
+
+func (e *encoder) i64(v int64) { e.u64(uint64(v)) }
+
+func (e *encoder) str(s string) {
+	if len(s) > maxName {
+		if e.err == nil {
+			e.err = fmt.Errorf("snapshot: string of %d bytes exceeds limit", len(s))
+		}
+		return
+	}
+	e.u32(uint32(len(s)))
+	e.bytes([]byte(s))
+}
+
+// chunkElems is the array-section transfer granularity: elements are
+// staged into a scratch buffer and read/written/checksummed one chunk at a
+// time, so the codec's cost is a few large I/O and CRC calls per section
+// instead of one per element.
+const chunkElems = 1 << 13
+
+func (e *encoder) scratchBuf() []byte {
+	if e.scratch == nil {
+		e.scratch = make([]byte, 8*chunkElems)
+	}
+	return e.scratch
+}
+
+func (e *encoder) i32s(vs []int32) {
+	buf := e.scratchBuf()
+	for len(vs) > 0 && e.err == nil {
+		c := min(len(vs), 2*chunkElems) // 4-byte elements: twice as many fit
+		for i := 0; i < c; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(vs[i]))
+		}
+		e.bytes(buf[:4*c])
+		vs = vs[c:]
+	}
+}
+
+func (e *encoder) i64s(vs []int64) {
+	buf := e.scratchBuf()
+	for len(vs) > 0 && e.err == nil {
+		c := min(len(vs), chunkElems)
+		for i := 0; i < c; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(vs[i]))
+		}
+		e.bytes(buf[:8*c])
+		vs = vs[c:]
+	}
+}
+
+// --- primitive decoding ---
+
+type decoder struct {
+	r       *bufio.Reader
+	crc     hash.Hash32
+	scratch []byte
+	err     error
+}
+
+func (d *decoder) scratchBuf() []byte {
+	if d.scratch == nil {
+		d.scratch = make([]byte, 8*chunkElems)
+	}
+	return d.scratch
+}
+
+func (d *decoder) bytes(b []byte) {
+	if d.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		d.err = fmt.Errorf("snapshot: truncated input: %w", err)
+		return
+	}
+	d.crc.Write(b)
+}
+
+func (d *decoder) u16() uint16 {
+	var b [2]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+func (d *decoder) u32() uint32 {
+	var b [4]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (d *decoder) u64() uint64 {
+	var b [8]byte
+	d.bytes(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if d.err != nil {
+		return ""
+	}
+	if n > maxName {
+		d.err = fmt.Errorf("snapshot: string length %d exceeds limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	d.bytes(b)
+	return string(b)
+}
+
+// count reads a u64 size field and bounds it, so a corrupted header cannot
+// demand an enormous allocation.
+func (d *decoder) count(what string) int {
+	v := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	if v > maxSide {
+		d.err = fmt.Errorf("snapshot: %s count %d exceeds limit", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// allocChunk bounds per-step slice growth while decoding arrays: a corrupt
+// count field then costs at most one chunk of over-allocation before the
+// stream runs dry, instead of an upfront multi-GiB make().
+const allocChunk = 1 << 20
+
+func (d *decoder) i32s(n int) []int32 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, 0, min(n, allocChunk))
+	buf := d.scratchBuf()
+	for remaining := n; remaining > 0; {
+		c := min(remaining, 2*chunkElems)
+		b := buf[:4*c]
+		d.bytes(b)
+		if d.err != nil {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, int32(binary.LittleEndian.Uint32(b[4*i:])))
+		}
+		remaining -= c
+	}
+	return out
+}
+
+func (d *decoder) i64s(n int) []int64 {
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int64, 0, min(n, allocChunk))
+	buf := d.scratchBuf()
+	for remaining := n; remaining > 0; {
+		c := min(remaining, chunkElems)
+		b := buf[:8*c]
+		d.bytes(b)
+		if d.err != nil {
+			return nil
+		}
+		for i := 0; i < c; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+		remaining -= c
+	}
+	return out
+}

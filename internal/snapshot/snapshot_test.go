@@ -1,0 +1,272 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+func buildArtifact(t *testing.T, g *graph.Graph, tau int, seed uint64) *Artifact {
+	t.Helper()
+	o, err := core.BuildOracle(g, tau, false, core.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Artifact{
+		Meta:   Meta{GraphName: "test", Tau: tau, Seed: seed, Algorithm: "cluster"},
+		Graph:  g,
+		Oracle: o,
+	}
+}
+
+func roundTrip(t *testing.T, a *Artifact) *Artifact {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// Graph round-trip: the decoded CSR arrays must be bit-identical.
+func TestGraphRoundTrip(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Mesh(40, 25),
+		graph.RoadLike(30, 30, 0.4, 7),
+		graph.BarabasiAlbert(2000, 6, 3),
+		graph.FromEdges(1, nil), // single isolated node
+	} {
+		a := &Artifact{Meta: Meta{GraphName: "g"}, Graph: g}
+		got := roundTrip(t, a)
+		if got.Oracle != nil {
+			t.Fatal("oracle materialized out of nowhere")
+		}
+		wantX, wantA := g.CSR()
+		gotX, gotA := got.Graph.CSR()
+		if !equalI64(wantX, gotX) || !equalI32(wantA, gotA) {
+			t.Fatalf("CSR mismatch after round trip (n=%d)", g.NumNodes())
+		}
+		if err := got.Graph.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Oracle round-trip: the decoded oracle must answer exactly like the
+// original on sampled pairs (both the upper-bound and lower-bound query),
+// and the metadata must survive.
+func TestOracleRoundTrip(t *testing.T) {
+	g := graph.RoadLike(40, 40, 0.4, 11)
+	a := buildArtifact(t, g, 3, 99)
+	got := roundTrip(t, a)
+
+	if got.Meta != a.Meta {
+		t.Fatalf("meta %+v want %+v", got.Meta, a.Meta)
+	}
+	if got.Oracle == nil {
+		t.Fatal("oracle lost in round trip")
+	}
+	if got.Oracle.NumClusters() != a.Oracle.NumClusters() {
+		t.Fatalf("clusters %d want %d", got.Oracle.NumClusters(), a.Oracle.NumClusters())
+	}
+	r := rng.New(5)
+	n := g.NumNodes()
+	for i := 0; i < 500; i++ {
+		u := graph.NodeID(r.Intn(n))
+		v := graph.NodeID(r.Intn(n))
+		if w, got := a.Oracle.Query(u, v), got.Oracle.Query(u, v); got != w {
+			t.Fatalf("Query(%d,%d) = %d want %d", u, v, got, w)
+		}
+		if w, got := a.Oracle.LowerQuery(u, v), got.Oracle.LowerQuery(u, v); got != w {
+			t.Fatalf("LowerQuery(%d,%d) = %d want %d", u, v, got, w)
+		}
+	}
+	// The decoded clustering must satisfy the full decomposition invariants.
+	if err := got.Oracle.Clustering().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A disconnected graph exercises InfDist entries in the persisted tables.
+func TestRoundTripDisconnected(t *testing.T) {
+	edges := [][2]graph.NodeID{{0, 1}, {1, 2}, {3, 4}}
+	g := graph.FromEdges(5, edges)
+	a := buildArtifact(t, g, 1, 1)
+	got := roundTrip(t, a)
+	if d := got.Oracle.Query(0, 3); d != graph.InfDist {
+		t.Fatalf("cross-component query %d want InfDist", d)
+	}
+	if d := got.Oracle.Query(0, 2); d == graph.InfDist {
+		t.Fatal("same-component query unreachable")
+	}
+}
+
+// Every truncation point must produce an error, never a silent partial
+// artifact.
+func TestTruncation(t *testing.T) {
+	g := graph.Mesh(12, 12)
+	a := buildArtifact(t, g, 1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Check a spread of prefixes including "everything but the trailer".
+	for _, cut := range []int{0, 1, 3, 7, 20, len(full) / 2, len(full) - 5, len(full) - 1} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(full))
+		}
+	}
+}
+
+// Any single bit flip must be caught — by a structural check or, at the
+// latest, by the checksum.
+func TestCorruption(t *testing.T) {
+	g := graph.Mesh(12, 12)
+	a := buildArtifact(t, g, 1, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r := rng.New(77)
+	flips := 0
+	for i := 0; i < 200; i++ {
+		pos := r.Intn(len(full))
+		bit := byte(1) << uint(r.Intn(8))
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= bit
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("bit flip at byte %d (mask %02x) decoded successfully", pos, bit)
+		} else {
+			flips++
+			_ = err
+		}
+	}
+	if flips != 200 {
+		t.Fatalf("only %d/200 corruptions detected", flips)
+	}
+}
+
+// Corrupting a payload byte while keeping structure valid must surface
+// ErrChecksum specifically (the seed byte of the meta section is pure
+// payload: no structural check can catch it).
+func TestChecksumErrIsWrapped(t *testing.T) {
+	g := graph.Mesh(8, 8)
+	a := &Artifact{Meta: Meta{GraphName: "g", Seed: 42}, Graph: g}
+	var buf bytes.Buffer
+	if err := Write(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Layout: magic(4) version(2) flags(2) nameLen(4) name(1) algoLen(4)
+	// tau(8) → seed starts at offset 25.
+	full[25] ^= 0x01
+	_, err := Read(bytes.NewReader(full))
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	g := graph.Mesh(4, 4)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Artifact{Graph: g}); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[0] = 'X'
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), buf.Bytes()...)
+	bad[4] = 0xFF // version
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := Read(bytes.NewReader(nil)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("empty input: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriteRejectsForeignOracle(t *testing.T) {
+	g1 := graph.Mesh(10, 10)
+	g2 := graph.Mesh(10, 10)
+	o, err := core.BuildOracle(g1, 1, false, core.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, &Artifact{Graph: g2, Oracle: o}); err == nil {
+		t.Fatal("oracle over a different graph accepted")
+	}
+}
+
+func TestWriteRejectsEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	g, err := graph.FromCSR(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(&buf, &Artifact{Graph: g}); err == nil {
+		t.Fatal("empty graph accepted (Read could never decode it)")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := graph.RoadLike(25, 25, 0.4, 3)
+	a := buildArtifact(t, g, 2, 8)
+	path := filepath.Join(t.TempDir(), "a.snap")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta != a.Meta {
+		t.Fatalf("meta %+v want %+v", got.Meta, a.Meta)
+	}
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		u := graph.NodeID(r.Intn(g.NumNodes()))
+		v := graph.NodeID(r.Intn(g.NumNodes()))
+		if got.Oracle.Query(u, v) != a.Oracle.Query(u, v) {
+			t.Fatalf("Query(%d,%d) differs after Save/Load", u, v)
+		}
+	}
+}
+
+func equalI64(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

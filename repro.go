@@ -11,7 +11,11 @@
 // sketches), the execution substrates (a BSP superstep engine and a
 // simulator of the MR(MG, ML) MapReduce model), synthetic graph
 // generators, and the full experiment harness regenerating every table and
-// figure of the paper (see DESIGN.md and EXPERIMENTS.md).
+// figure of the paper. Beyond the batch pipeline it provides an online
+// serving layer: a concurrent HTTP/JSON query service over the built
+// artifacts (internal/serve, daemon cmd/reprod) with a binary snapshot
+// codec (internal/snapshot) for instant restarts. See README.md for build,
+// test, and usage instructions.
 //
 // This package is the public facade: it re-exports the pieces a downstream
 // user needs, since the implementation lives under internal/. A typical
@@ -26,6 +30,8 @@
 package repro
 
 import (
+	"io"
+
 	"repro/internal/anf"
 	"repro/internal/core"
 	"repro/internal/expt"
@@ -34,6 +40,8 @@ import (
 	"repro/internal/mpx"
 	"repro/internal/pbfs"
 	"repro/internal/quotient"
+	"repro/internal/serve"
+	"repro/internal/snapshot"
 )
 
 // Graph types and construction.
@@ -191,6 +199,45 @@ func HyperANFDiameter(g *Graph, opt HyperANFOptions) (*HyperANFResult, error) {
 func GonzalezKCenter(g *Graph, k int, start NodeID) ([]NodeID, int32, error) {
 	return gonzalez.KCenter(g, k, start)
 }
+
+// Serving and persistence (internal/serve, internal/snapshot; daemon in
+// cmd/reprod).
+type (
+	// Server is the concurrent graph-analytics query service: register
+	// graphs, then serve distance / cluster-of / diameter / kcenter
+	// queries over HTTP via Handler(), with cached single-flight artifact
+	// builds and a bounded worker pool.
+	Server = serve.Server
+	// ServeConfig configures a Server.
+	ServeConfig = serve.Config
+	// ArtifactKey identifies a cached build artifact.
+	ArtifactKey = serve.Key
+	// ServeStats is the /stats counter snapshot.
+	ServeStats = serve.Stats
+	// SnapshotArtifact is the unit of snapshot persistence: a graph,
+	// optionally its oracle, and the build metadata.
+	SnapshotArtifact = snapshot.Artifact
+	// SnapshotMeta identifies the build that produced an artifact.
+	SnapshotMeta = snapshot.Meta
+)
+
+// NewServer returns an empty query server.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
+
+// Snapshot codec entry points: versioned, checksummed binary encoding of
+// graph + oracle artifacts so a server restart skips the build.
+
+// WriteSnapshot encodes an artifact to w.
+func WriteSnapshot(w io.Writer, a *SnapshotArtifact) error { return snapshot.Write(w, a) }
+
+// ReadSnapshot decodes an artifact, verifying checksum and structure.
+func ReadSnapshot(r io.Reader) (*SnapshotArtifact, error) { return snapshot.Read(r) }
+
+// SaveSnapshot atomically writes an artifact to the named file.
+func SaveSnapshot(path string, a *SnapshotArtifact) error { return snapshot.Save(path, a) }
+
+// LoadSnapshot reads an artifact from the named file.
+func LoadSnapshot(path string) (*SnapshotArtifact, error) { return snapshot.Load(path) }
 
 // Experiments (the paper's Section 6; see cmd/tables for the CLI).
 
