@@ -20,6 +20,7 @@ import (
 
 	"repro"
 	"repro/internal/anf"
+	"repro/internal/bsp"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/graph"
@@ -234,6 +235,61 @@ func BenchmarkAblationDecomposers(b *testing.B) {
 			}
 		}
 	})
+}
+
+// Engine modes: forced top-down vs the hybrid direction-optimizing
+// traversal, on the two diameter regimes. The mesh (high diameter, thin
+// frontiers) should show parity — the hybrid stays top-down — while the
+// G(n, p) graph (low diameter, exploding frontiers) is where bottom-up
+// rounds cut the arcs scanned by several x. Each sub-bench reports the
+// arcs-scanned Stats.Messages of one full BFS alongside ns/op.
+func BenchmarkEngineModesBFS(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	gnp := graph.ErdosRenyi(50000, 500000, 3)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"mesh", mesh}, {"gnp", gnp}} {
+		for _, mode := range []struct {
+			name string
+			dir  bsp.Direction
+		}{{"topdown", bsp.DirPush}, {"hybrid", bsp.DirAuto}} {
+			b.Run(tc.name+"/"+mode.name, func(b *testing.B) {
+				var arcs int64
+				for i := 0; i < b.N; i++ {
+					res, err := pbfs.RunDirection(tc.g, 0, 0, mode.dir)
+					if err != nil {
+						b.Fatal(err)
+					}
+					arcs = res.Stats.Messages
+				}
+				b.ReportMetric(float64(arcs), "arcs")
+			})
+		}
+	}
+}
+
+// The same comparison for the CLUSTER decomposition, whose growth phase
+// saturates the graph and therefore benefits from bottom-up rounds once
+// the combined cluster frontier dominates the uncovered remainder.
+func BenchmarkEngineModesCluster(b *testing.B) {
+	gnp := graph.ErdosRenyi(50000, 500000, 3)
+	for _, mode := range []struct {
+		name string
+		dir  bsp.Direction
+	}{{"topdown", bsp.DirPush}, {"hybrid", bsp.DirAuto}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var arcs int64
+			for i := 0; i < b.N; i++ {
+				cl, err := core.Cluster(gnp, 16, core.Options{Seed: 1, Direction: mode.dir})
+				if err != nil {
+					b.Fatal(err)
+				}
+				arcs = cl.Stats.Messages
+			}
+			b.ReportMetric(float64(arcs), "arcs")
+		})
+	}
 }
 
 // Baseline estimator kernels in isolation.

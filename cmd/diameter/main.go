@@ -36,6 +36,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "missing -in")
 		os.Exit(2)
 	}
+	switch *algo {
+	case "cluster", "bfs", "hadi", "exact", "all":
+	default:
+		// Reject typos loudly: a silent no-op exit for "-algo clutser" reads
+		// as success and ships a wrong number downstream.
+		fmt.Fprintf(os.Stderr, "unknown -algo %q (want cluster, bfs, hadi, exact or all)\n", *algo)
+		os.Exit(2)
+	}
 	g, err := graph.LoadEdgeList(*in)
 	fail(err)
 	fmt.Println("graph:", graph.Summarize(g))
@@ -49,16 +57,17 @@ func main() {
 			UseCluster2: *useCluster2,
 		})
 		fail(err)
-		fmt.Printf("CLUSTER: %d <= diameter <= %d  (quotient nC=%d mC=%d, R=%d, rounds=%d, %v)\n",
+		fmt.Printf("CLUSTER: %d <= diameter <= %d  (quotient nC=%d mC=%d, R=%d, rounds=%d (%d pull), %v)\n",
 			res.DeltaC, res.Upper, res.Quotient.NumNodes(), res.Quotient.NumEdges(),
-			res.RMax, res.Stats.Rounds, res.Elapsed.Round(time.Millisecond))
+			res.RMax, res.Stats.Rounds, res.Stats.PullRounds, res.Elapsed.Round(time.Millisecond))
 	}
 	if want("bfs") {
 		_, src := g.MaxDegree()
 		res, err := pbfs.EstimateDiameter(g, src, *workers)
 		fail(err)
-		fmt.Printf("BFS:     %d <= diameter <= %d  (rounds=%d, %v)\n",
-			res.Lower, res.Upper, res.Stats.Rounds, res.Elapsed.Round(time.Millisecond))
+		fmt.Printf("BFS:     %d <= diameter <= %d  (rounds=%d (%d pull), arcs=%d, %v)\n",
+			res.Lower, res.Upper, res.Stats.Rounds, res.Stats.PullRounds,
+			res.Stats.Messages, res.Elapsed.Round(time.Millisecond))
 	}
 	if want("hadi") {
 		res, err := anf.Run(g, anf.Options{K: *k, Seed: *seed, Workers: *workers})

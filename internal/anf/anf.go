@@ -17,7 +17,6 @@ import (
 	"errors"
 	"math"
 	"math/bits"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bsp"
@@ -56,8 +55,14 @@ type Result struct {
 	// saturation is detected one round after the last change).
 	Rounds int
 	// MessagesWords is the aggregate communication volume in 32-bit words:
-	// every round moves K registers across every arc.
+	// K registers per arc actually combined. The active-set execution only
+	// recombines nodes with a changed neighbor, so this is at most
+	// Rounds·2m·K (the dense HADI volume) and typically far less on
+	// long-diameter graphs, where most sketches are stable most rounds.
 	MessagesWords int64
+	// Stats carries the engine's superstep counters (rounds, arcs scanned
+	// including frontier-membership probes, pull rounds).
+	Stats bsp.Stats
 	// Elapsed is the wall-clock time.
 	Elapsed time.Duration
 }
@@ -100,58 +105,42 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		}
 	})
 
-	est := func(sk []uint32) []float64 {
-		out := make([]float64, 1)
-		out[0] = neighborhoodEstimate(sk, n, k)
-		return out
-	}
-	neighborhood := est(cur)
-
-	var messages int64
-	rounds := 0
-	saturatedAt := int32(0)
-	for rounds < maxRounds {
-		changedAny := int64(0)
-		bsp.ParallelFor(workers, n, func(_, lo, hi int) {
-			var changed int64
-			for u := lo; u < hi; u++ {
-				base := u * k
-				// Copy own sketch, then OR in the neighbors'.
+	// Active-set rounds on the traversal engine (see runSketchRounds): the
+	// FM combine is a K-word OR of each neighbor's pre-round sketch.
+	neighborhood, rounds, saturatedAt, messages, stats := runSketchRounds(
+		g, workers, maxRounds, int64(k),
+		func(vn graph.NodeID, nbrs []graph.NodeID) bool {
+			base := int(vn) * k
+			// Copy own sketch, then OR in the neighbors'.
+			for r := 0; r < k; r++ {
+				next[base+r] = cur[base+r]
+			}
+			for _, v := range nbrs {
+				nb := int(v) * k
 				for r := 0; r < k; r++ {
-					next[base+r] = cur[base+r]
-				}
-				for _, v := range g.Neighbors(graph.NodeID(u)) {
-					nb := int(v) * k
-					for r := 0; r < k; r++ {
-						next[base+r] |= cur[nb+r]
-					}
-				}
-				for r := 0; r < k; r++ {
-					if next[base+r] != cur[base+r] {
-						changed++
-						break
-					}
+					next[base+r] |= cur[nb+r]
 				}
 			}
-			if changed > 0 {
-				atomic.AddInt64(&changedAny, changed)
+			for r := 0; r < k; r++ {
+				if next[base+r] != cur[base+r] {
+					return true
+				}
 			}
-		})
-		rounds++
-		messages += int64(g.NumArcs()) * int64(k)
-		cur, next = next, cur
-		if changedAny == 0 {
-			break
-		}
-		saturatedAt = int32(rounds)
-		neighborhood = append(neighborhood, neighborhoodEstimate(cur, n, k))
-	}
+			return false
+		},
+		func(u graph.NodeID) {
+			base := int(u) * k
+			copy(cur[base:base+k], next[base:base+k])
+		},
+		func() float64 { return neighborhoodEstimate(cur, n, k) },
+	)
 
 	res := &Result{
 		DiameterEstimate: saturatedAt,
 		Neighborhood:     neighborhood,
 		Rounds:           rounds,
 		MessagesWords:    messages,
+		Stats:            stats,
 		Elapsed:          time.Since(start),
 	}
 	res.EffectiveDiameter = effectiveDiameter(neighborhood, opt.EffectivePercentile)

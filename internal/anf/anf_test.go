@@ -42,16 +42,26 @@ func TestRunRoundsThetaDiameter(t *testing.T) {
 	}
 }
 
-func TestRunCommunicationVolumePerRound(t *testing.T) {
+func TestRunCommunicationVolumeBounded(t *testing.T) {
 	g := graph.Mesh(12, 12)
 	k := 8
 	res, err := Run(g, Options{K: k, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := int64(res.Rounds) * int64(g.NumArcs()) * int64(k)
-	if res.MessagesWords != want {
-		t.Fatalf("messages=%d want rounds*arcs*K=%d", res.MessagesWords, want)
+	// The dense HADI execution moves K registers over every arc every
+	// round; the active-set rounds only recombine nodes with a changed
+	// neighbor, so the honest volume is bounded by the dense one and must
+	// still cover at least one full sweep (round 1 touches every arc).
+	dense := int64(res.Rounds) * int64(g.NumArcs()) * int64(k)
+	if res.MessagesWords > dense {
+		t.Fatalf("messages=%d exceed dense rounds*arcs*K=%d", res.MessagesWords, dense)
+	}
+	if res.MessagesWords < int64(g.NumArcs())*int64(k) {
+		t.Fatalf("messages=%d below one full sweep %d", res.MessagesWords, int64(g.NumArcs())*int64(k))
+	}
+	if res.Stats.Rounds != res.Rounds {
+		t.Fatalf("engine rounds %d != ANF rounds %d", res.Stats.Rounds, res.Rounds)
 	}
 }
 

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math"
 	"math/bits"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/bsp"
@@ -46,8 +45,12 @@ type HyperResult struct {
 	Neighborhood []float64
 	// Rounds is the number of BSP rounds executed.
 	Rounds int
-	// MessagesBytes is the traffic volume: 2^b bytes per arc per round.
+	// MessagesBytes is the traffic volume: 2^b bytes per arc actually
+	// combined (the active-set execution skips nodes whose neighborhood is
+	// stable, so this is at most Rounds·2m·2^b and usually much less).
 	MessagesBytes int64
+	// Stats carries the engine's superstep counters.
+	Stats bsp.Stats
 	// Elapsed is the wall-clock time.
 	Elapsed time.Duration
 }
@@ -98,52 +101,41 @@ func HyperRun(g *graph.Graph, opt HyperOptions) (*HyperResult, error) {
 		}
 		return total
 	}
-	neighborhood := []float64{estimate(cur)}
-
-	var messages int64
-	rounds := 0
-	saturatedAt := int32(0)
-	for rounds < maxRounds {
-		changed := int64(0)
-		bsp.ParallelFor(workers, n, func(_, lo, hi int) {
-			var local int64
-			for u := lo; u < hi; u++ {
-				base := u * m
-				copy(next[base:base+m], cur[base:base+m])
-				for _, v := range g.Neighbors(graph.NodeID(u)) {
-					nb := int(v) * m
-					for r := 0; r < m; r++ {
-						if cur[nb+r] > next[base+r] {
-							next[base+r] = cur[nb+r]
-						}
-					}
-				}
+	// Active-set rounds on the shared harness (see runSketchRounds): the
+	// HyperLogLog combine is an elementwise max over 2^b byte registers.
+	neighborhood, rounds, saturatedAt, messages, stats := runSketchRounds(
+		g, workers, maxRounds, int64(m),
+		func(vn graph.NodeID, nbrs []graph.NodeID) bool {
+			base := int(vn) * m
+			copy(next[base:base+m], cur[base:base+m])
+			for _, v := range nbrs {
+				nb := int(v) * m
 				for r := 0; r < m; r++ {
-					if next[base+r] != cur[base+r] {
-						local++
-						break
+					if cur[nb+r] > next[base+r] {
+						next[base+r] = cur[nb+r]
 					}
 				}
 			}
-			if local > 0 {
-				atomic.AddInt64(&changed, local)
+			for r := 0; r < m; r++ {
+				if next[base+r] != cur[base+r] {
+					return true
+				}
 			}
-		})
-		rounds++
-		messages += int64(g.NumArcs()) * int64(m)
-		cur, next = next, cur
-		if changed == 0 {
-			break
-		}
-		saturatedAt = int32(rounds)
-		neighborhood = append(neighborhood, estimate(cur))
-	}
+			return false
+		},
+		func(u graph.NodeID) {
+			base := int(u) * m
+			copy(cur[base:base+m], next[base:base+m])
+		},
+		func() float64 { return estimate(cur) },
+	)
 
 	res := &HyperResult{
 		DiameterEstimate: saturatedAt,
 		Neighborhood:     neighborhood,
 		Rounds:           rounds,
 		MessagesBytes:    messages,
+		Stats:            stats,
 		Elapsed:          time.Since(start),
 	}
 	res.EffectiveDiameter = effectiveDiameter(neighborhood, opt.EffectivePercentile)

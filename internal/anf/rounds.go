@@ -1,0 +1,64 @@
+package anf
+
+import (
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+// runSketchRounds drives the active-set round harness shared by ANF and
+// HyperANF on the traversal engine. The frontier holds the nodes whose
+// sketch changed last round; a node only recombines when at least one
+// neighbor is in the frontier (everyone else's sketch provably cannot
+// change), which preserves the dense round-by-round semantics — and thus
+// the saturation-round diameter estimate — while skipping the dead arc
+// scans.
+//
+// combine recomputes v's sketch row from its neighbors' pre-round rows
+// (reading cur, writing next) and reports whether it changed; writeBack
+// commits v's new row after the superstep barrier; estimate evaluates the
+// neighborhood function N(t) from the committed rows. rowUnits is the
+// per-arc traffic unit (K 32-bit words for ANF, 2^b bytes for HyperANF)
+// behind the messages tally.
+func runSketchRounds(g *graph.Graph, workers, maxRounds int, rowUnits int64,
+	combine func(v graph.NodeID, nbrs []graph.NodeID) bool,
+	writeBack func(v graph.NodeID),
+	estimate func() float64,
+) (neighborhood []float64, rounds int, saturatedAt int32, messages int64, stats bsp.Stats) {
+	n := g.NumNodes()
+	e := bsp.NewEngine(g, workers)
+	defer e.Close()
+	all := make([]graph.NodeID, n)
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	e.SetFrontier(all) // round 0: every node's sketch just initialized
+
+	neighborhood = []float64{estimate()}
+	gatherArcs := make([]int64, e.NumWorkers())
+	for rounds < maxRounds && e.FrontierLen() > 0 {
+		rs := e.GatherStep(func(w int, v graph.NodeID) bool {
+			nbrs := g.Neighbors(v)
+			gatherArcs[w] += int64(len(nbrs))
+			return combine(v, nbrs)
+		})
+		rounds++
+		// Commit the changed sketches (the untouched ones are already
+		// identical in cur), then account the units actually combined.
+		changed := e.Frontier()
+		e.For(len(changed), func(_, lo, hi int) {
+			for _, u := range changed[lo:hi] {
+				writeBack(u)
+			}
+		})
+		for w := range gatherArcs {
+			messages += gatherArcs[w] * rowUnits
+			gatherArcs[w] = 0
+		}
+		if rs.Claimed == 0 {
+			break
+		}
+		saturatedAt = int32(rounds)
+		neighborhood = append(neighborhood, estimate())
+	}
+	return neighborhood, rounds, saturatedAt, messages, e.Stats()
+}

@@ -1,0 +1,107 @@
+package bsp
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Bitmap is a dense set over node ids [0, n). It is the dense counterpart
+// of the sparse frontier lists the engine keeps: top-down supersteps work
+// on the sparse form, bottom-up supersteps test membership against the
+// dense form, and the two stay interchangeable via ToSparse/FromSparse.
+//
+// Concurrent use: SetAtomic may race with other SetAtomic calls; plain Set
+// and Get must be confined to word-disjoint ranges (the engine aligns its
+// worker chunks to 64-node boundaries for exactly this reason).
+type Bitmap struct {
+	n     int
+	words []uint64
+}
+
+// NewBitmap returns an empty bitmap over [0, n).
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the domain size n.
+func (b *Bitmap) Len() int { return b.n }
+
+// Get reports whether u is in the set.
+func (b *Bitmap) Get(u NodeID) bool {
+	return b.words[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0
+}
+
+// Set adds u to the set. Not safe for concurrent writers sharing a word.
+func (b *Bitmap) Set(u NodeID) {
+	b.words[uint32(u)>>6] |= 1 << (uint32(u) & 63)
+}
+
+// SetAtomic adds u to the set, safely under concurrent writers. It reports
+// whether this call inserted u (false if it was already present).
+//
+// Implemented as a load+CAS loop rather than atomic.OrUint64: with
+// go1.24.0 on amd64, inlining the OrUint64 intrinsic into the engine's
+// gather loop clobbers the live neighbors-slice register and segfaults
+// (reproducible via TestEngineGatherStepCandidates; disappears at -N -l).
+// Revisit once a fixed toolchain is in the image.
+func (b *Bitmap) SetAtomic(u NodeID) bool {
+	word := &b.words[uint32(u)>>6]
+	mask := uint64(1) << (uint32(u) & 63)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// ClearAll empties the set in O(n/64).
+func (b *Bitmap) ClearAll() {
+	clear(b.words)
+}
+
+// ClearSparse empties the set given a superset of its members, zeroing only
+// the words those members touch — O(len(members)) instead of O(n/64).
+func (b *Bitmap) ClearSparse(members []NodeID) {
+	for _, u := range members {
+		b.words[uint32(u)>>6] = 0
+	}
+}
+
+// FromSparse resets the bitmap to exactly the given members. prev must be a
+// superset of the current members (typically the slice a previous
+// FromSparse installed); pass nil to force a full clear.
+func (b *Bitmap) FromSparse(members, prev []NodeID) {
+	if prev == nil {
+		b.ClearAll()
+	} else {
+		b.ClearSparse(prev)
+	}
+	for _, u := range members {
+		b.Set(u)
+	}
+}
+
+// ToSparse appends the members of the set to dst in ascending order.
+func (b *Bitmap) ToSparse(dst []NodeID) []NodeID {
+	for wi, w := range b.words {
+		base := NodeID(wi << 6)
+		for w != 0 {
+			dst = append(dst, base+NodeID(bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// Count returns the number of members.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}

@@ -5,39 +5,53 @@
 // all sequences of synchronous rounds: in each round every frontier node
 // sends a message over each incident edge, messages are resolved at the
 // receivers, and a new frontier forms. On the authors' Spark cluster one
-// round is one communication round; here one round is one parallel superstep
-// over a goroutine worker pool, and the engine counts rounds and message
-// volume (arcs scanned), the two quantities the paper's cost analysis and
-// Section 6 experiments are phrased in.
+// round is one communication round; here one round is one superstep of the
+// direction-optimizing Engine — a persistent worker pool that keeps the
+// frontier in both sparse and dense (bitmap) form and switches per round
+// between top-down push (frontier nodes offer their arcs) and bottom-up
+// pull (unvisited nodes scan for a frontier neighbor to adopt), the
+// Beamer-style hybrid that cuts aggregate arc scans by an order of
+// magnitude on low-diameter graphs. The engine counts rounds and message
+// volume (arcs scanned, in whichever direction the round ran) — the two
+// quantities the paper's cost analysis and Section 6 experiments are
+// phrased in.
 //
-// Concurrent claims of the same node are resolved by atomic compare-and-swap
-// in the claim callbacks supplied by the algorithms; the paper explicitly
-// allows an arbitrary winner ("only one of them, arbitrarily chosen,
-// succeeds"). The set of nodes claimed in a round is schedule-independent.
+// Concurrent push claims of the same node are resolved by atomic
+// compare-and-swap in the callbacks supplied by the algorithms; the paper
+// explicitly allows an arbitrary winner ("only one of them, arbitrarily
+// chosen, succeeds"). Pull adoptions are deterministic first-match in
+// adjacency order. Either way the set of nodes claimed in a round is
+// schedule-independent.
 package bsp
 
 import (
 	"runtime"
 	"sync"
-
-	"repro/internal/graph"
 )
+
+// NodeID identifies a node; it aliases int32 exactly as graph.NodeID does,
+// so the two are interchangeable without this package importing graph.
+type NodeID = int32
 
 // Stats accumulates the cost of a BSP computation.
 type Stats struct {
 	// Rounds is the number of supersteps (communication rounds) executed.
 	Rounds int
-	// Messages is the number of arcs scanned from frontier nodes — the
-	// aggregate communication volume in edge-message units.
+	// Messages is the number of arcs scanned — the aggregate communication
+	// volume in edge-message units, counting both push-direction scans from
+	// frontier nodes and pull-direction probes from unvisited nodes.
 	Messages int64
 	// MaxFrontier is the largest frontier observed in any round.
 	MaxFrontier int
+	// PullRounds is how many of the supersteps ran bottom-up.
+	PullRounds int
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Rounds += other.Rounds
 	s.Messages += other.Messages
+	s.PullRounds += other.PullRounds
 	if other.MaxFrontier > s.MaxFrontier {
 		s.MaxFrontier = other.MaxFrontier
 	}
@@ -45,9 +59,10 @@ func (s *Stats) Add(other Stats) {
 
 // RoundStat records one superstep for detailed traces.
 type RoundStat struct {
-	Frontier int   // frontier size entering the round
-	Claimed  int   // nodes claimed during the round
-	Arcs     int64 // arcs scanned during the round
+	Frontier int       // frontier size entering the round
+	Claimed  int       // nodes claimed during the round
+	Arcs     int64     // arcs scanned during the round
+	Dir      Direction // direction the superstep ran in
 }
 
 // Workers resolves a worker-count request: non-positive means
@@ -59,121 +74,11 @@ func Workers(requested int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// seqThreshold is the frontier size below which a step runs on the calling
-// goroutine; spawning workers for tiny frontiers costs more than it saves.
-const seqThreshold = 2048
-
-// Expander runs frontier-expansion supersteps over a fixed graph with
-// reusable per-worker buffers. It is the shared engine under CLUSTER,
-// CLUSTER2, MPX and parallel BFS.
-//
-// An Expander may be reused across algorithm runs but is not safe for
-// concurrent use by multiple goroutines.
-type Expander struct {
-	g       *graph.Graph
-	workers int
-	bufs    [][]graph.NodeID
-	arcs    []int64
-}
-
-// NewExpander returns an expander over g using the given number of workers
-// (non-positive selects GOMAXPROCS).
-func NewExpander(g *graph.Graph, workers int) *Expander {
-	w := Workers(workers)
-	e := &Expander{
-		g:       g,
-		workers: w,
-		bufs:    make([][]graph.NodeID, w),
-		arcs:    make([]int64, w),
-	}
-	return e
-}
-
-// NumWorkers returns the worker count.
-func (e *Expander) NumWorkers() int { return e.workers }
-
-// Graph returns the underlying graph.
-func (e *Expander) Graph() *graph.Graph { return e.g }
-
-// Step performs one superstep: for every node u in frontier and every arc
-// (u, v), claim(worker, u, v) is invoked; if it returns true, v joins the
-// next frontier. claim is called concurrently from multiple workers and
-// must resolve write conflicts itself (typically with atomic CAS on an
-// ownership array; returning true for a given v from at most one call).
-//
-// Step returns the next frontier (freshly allocated; per-worker scratch is
-// reused internally) and the number of arcs scanned.
-func (e *Expander) Step(frontier []graph.NodeID, claim func(worker int, u, v graph.NodeID) bool) (next []graph.NodeID, arcs int64) {
-	if len(frontier) == 0 {
-		return nil, 0
-	}
-	if len(frontier) < seqThreshold || e.workers == 1 {
-		buf := e.bufs[0][:0]
-		var scanned int64
-		for _, u := range frontier {
-			nbrs := e.g.Neighbors(u)
-			scanned += int64(len(nbrs))
-			for _, v := range nbrs {
-				if claim(0, u, v) {
-					buf = append(buf, v)
-				}
-			}
-		}
-		e.bufs[0] = buf
-		out := make([]graph.NodeID, len(buf))
-		copy(out, buf)
-		return out, scanned
-	}
-
-	var wg sync.WaitGroup
-	chunk := (len(frontier) + e.workers - 1) / e.workers
-	for w := 0; w < e.workers; w++ {
-		lo := w * chunk
-		if lo >= len(frontier) {
-			e.bufs[w] = e.bufs[w][:0]
-			e.arcs[w] = 0
-			continue
-		}
-		hi := lo + chunk
-		if hi > len(frontier) {
-			hi = len(frontier)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			buf := e.bufs[w][:0]
-			var scanned int64
-			for _, u := range frontier[lo:hi] {
-				nbrs := e.g.Neighbors(u)
-				scanned += int64(len(nbrs))
-				for _, v := range nbrs {
-					if claim(w, u, v) {
-						buf = append(buf, v)
-					}
-				}
-			}
-			e.bufs[w] = buf
-			e.arcs[w] = scanned
-		}(w, lo, hi)
-	}
-	wg.Wait()
-
-	total := 0
-	for w := 0; w < e.workers; w++ {
-		total += len(e.bufs[w])
-		arcs += e.arcs[w]
-	}
-	next = make([]graph.NodeID, 0, total)
-	for w := 0; w < e.workers; w++ {
-		next = append(next, e.bufs[w]...)
-	}
-	return next, arcs
-}
-
 // ParallelFor splits [0, n) into contiguous chunks and runs fn(worker, lo,
-// hi) on each from a pool of `workers` goroutines (non-positive selects
-// GOMAXPROCS). It blocks until all chunks complete. For small n it runs
-// inline on the calling goroutine.
+// hi) on each from a throwaway set of goroutines (non-positive workers
+// selects GOMAXPROCS). It blocks until all chunks complete; for small n it
+// runs inline on the calling goroutine. Loops that run inside a traversal
+// should prefer Engine.For, which reuses the engine's persistent pool.
 func ParallelFor(workers, n int, fn func(worker, lo, hi int)) {
 	w := Workers(workers)
 	if n <= 0 {

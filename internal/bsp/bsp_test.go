@@ -1,47 +1,44 @@
-package bsp
+package bsp_test
 
 import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/bsp"
 	"repro/internal/graph"
 )
 
-// bspBFS runs a BFS using the Expander with CAS claims and returns the
-// distance array; it is the canonical usage pattern exercised here.
-func bspBFS(g *graph.Graph, src graph.NodeID, workers int) ([]int32, Stats) {
+// engineBFS runs a BFS on the Engine in the given direction mode and
+// returns the distance array; it is the canonical claim-style usage
+// pattern exercised here. Push claims race through CAS; pull adoptions are
+// deterministic first-match, and both assign the same depth values.
+func engineBFS(g *graph.Graph, src graph.NodeID, workers int, dir bsp.Direction) ([]int32, bsp.Stats) {
 	n := g.NumNodes()
 	dist := make([]int32, n)
-	claimed := make([]int32, n) // 0 = unclaimed, 1 = claimed
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	claimed[src] = 1
-	e := NewExpander(g, workers)
-	frontier := []graph.NodeID{src}
-	var stats Stats
-	depth := int32(0)
-	for len(frontier) > 0 {
-		if len(frontier) > stats.MaxFrontier {
-			stats.MaxFrontier = len(frontier)
-		}
-		depth++
-		next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
-			if atomic.CompareAndSwapInt32(&claimed[v], 0, 1) {
-				dist[v] = depth
+	e := bsp.NewEngine(g, workers)
+	defer e.Close()
+	e.SetDirection(dir)
+	e.Seed(src)
+	for depth := int32(1); e.FrontierLen() > 0; depth++ {
+		d := depth
+		e.Step(bsp.StepSpec{
+			Push: func(_ int, u, v graph.NodeID) bool {
+				return atomic.CompareAndSwapInt32(&dist[v], -1, d)
+			},
+			Pull: func(_ int, v, u graph.NodeID) bool {
+				dist[v] = d
 				return true
-			}
-			return false
+			},
 		})
-		stats.Rounds++
-		stats.Messages += arcs
-		frontier = next
 	}
-	return dist, stats
+	return dist, e.Stats()
 }
 
-func TestExpanderBFSMatchesSequential(t *testing.T) {
+func TestEngineBFSMatchesSequential(t *testing.T) {
 	graphs := []*graph.Graph{
 		graph.Mesh(30, 30),
 		graph.BarabasiAlbert(3000, 3, 1),
@@ -51,19 +48,21 @@ func TestExpanderBFSMatchesSequential(t *testing.T) {
 	for _, g := range graphs {
 		want := g.BFS(0)
 		for _, workers := range []int{1, 2, 4, 0} {
-			got, _ := bspBFS(g, 0, workers)
-			for u := range want {
-				if got[u] != want[u] {
-					t.Fatalf("workers=%d: dist[%d]=%d want %d", workers, u, got[u], want[u])
+			for _, dir := range []bsp.Direction{bsp.DirAuto, bsp.DirPush, bsp.DirPull} {
+				got, _ := engineBFS(g, 0, workers, dir)
+				for u := range want {
+					if got[u] != want[u] {
+						t.Fatalf("workers=%d dir=%v: dist[%d]=%d want %d", workers, dir, u, got[u], want[u])
+					}
 				}
 			}
 		}
 	}
 }
 
-func TestExpanderRoundsEqualEccentricity(t *testing.T) {
+func TestEngineRoundsEqualEccentricity(t *testing.T) {
 	g := graph.Path(100)
-	_, stats := bspBFS(g, 0, 4)
+	_, stats := engineBFS(g, 0, 4, bsp.DirAuto)
 	// ecc(0) = 99 expansion rounds plus the final round that discovers the
 	// frontier is exhausted, exactly as a BSP execution would.
 	if stats.Rounds != 100 {
@@ -71,62 +70,72 @@ func TestExpanderRoundsEqualEccentricity(t *testing.T) {
 	}
 }
 
-func TestExpanderMessagesEqualArcsScanned(t *testing.T) {
-	// A full BFS scans every arc of a connected graph exactly once per
-	// endpoint activation: total messages = sum of degrees = 2m.
+func TestEngineForcedPushMessagesEqualArcs(t *testing.T) {
+	// A full top-down BFS scans every arc of a connected graph exactly once
+	// per endpoint activation: total messages = sum of degrees = 2m. The
+	// hybrid mode may only improve on that.
 	g := graph.Mesh(20, 20)
-	_, stats := bspBFS(g, 0, 4)
-	if stats.Messages != int64(g.NumArcs()) {
-		t.Fatalf("messages=%d want %d", stats.Messages, g.NumArcs())
+	_, push := engineBFS(g, 0, 4, bsp.DirPush)
+	if push.Messages != int64(g.NumArcs()) {
+		t.Fatalf("forced-push messages=%d want %d", push.Messages, g.NumArcs())
+	}
+	if push.PullRounds != 0 {
+		t.Fatalf("forced push ran %d pull rounds", push.PullRounds)
+	}
+	_, auto := engineBFS(g, 0, 4, bsp.DirAuto)
+	if auto.Messages > push.Messages {
+		t.Fatalf("hybrid messages=%d exceed forced-push %d", auto.Messages, push.Messages)
 	}
 }
 
-func TestExpanderEmptyFrontier(t *testing.T) {
+func TestEngineEmptyFrontierStepIsNoop(t *testing.T) {
 	g := graph.Path(5)
-	e := NewExpander(g, 2)
-	next, arcs := e.Step(nil, func(_ int, _, _ graph.NodeID) bool { return true })
-	if next != nil || arcs != 0 {
+	e := bsp.NewEngine(g, 2)
+	defer e.Close()
+	rs := e.Step(bsp.StepSpec{Push: func(_ int, _, _ graph.NodeID) bool { return true }})
+	if rs.Arcs != 0 || rs.Claimed != 0 || e.Stats().Rounds != 0 {
 		t.Fatal("empty frontier should be a no-op")
 	}
 }
 
-func TestExpanderNoDuplicateClaims(t *testing.T) {
+func TestEngineNoDuplicateClaims(t *testing.T) {
 	// Maximal contention: every leaf of a large star claims the hub in the
 	// same superstep. The frontier exceeds the sequential threshold, so the
 	// parallel path runs, and exactly one claim must win.
 	const leaves = 5000
 	g := graph.Star(leaves + 1)
 	claimed := make([]int32, g.NumNodes())
-	e := NewExpander(g, 8)
-	frontier := make([]graph.NodeID, leaves)
-	for i := range frontier {
-		frontier[i] = graph.NodeID(i + 1)
-		claimed[i+1] = 1
+	e := bsp.NewEngine(g, 8)
+	defer e.Close()
+	e.SetDirection(bsp.DirPush)
+	for i := 1; i <= leaves; i++ {
+		claimed[i] = 1
+		e.Seed(graph.NodeID(i))
 	}
-	next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
+	rs := e.Step(bsp.StepSpec{Push: func(_ int, u, v graph.NodeID) bool {
 		return atomic.CompareAndSwapInt32(&claimed[v], 0, 1)
-	})
-	if len(next) != 1 || next[0] != 0 {
-		t.Fatalf("hub should be claimed exactly once, got %v", next)
+	}})
+	if rs.Claimed != 1 || e.FrontierLen() != 1 || e.Frontier()[0] != 0 {
+		t.Fatalf("hub should be claimed exactly once, got %v", e.Frontier())
 	}
-	if arcs != leaves {
-		t.Fatalf("arcs=%d want %d", arcs, leaves)
+	if rs.Arcs != leaves {
+		t.Fatalf("arcs=%d want %d", rs.Arcs, leaves)
 	}
 }
 
 func TestWorkersDefault(t *testing.T) {
-	if Workers(0) < 1 {
+	if bsp.Workers(0) < 1 {
 		t.Fatal("Workers(0) must be positive")
 	}
-	if Workers(3) != 3 {
+	if bsp.Workers(3) != 3 {
 		t.Fatal("Workers(3) != 3")
 	}
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Rounds: 2, Messages: 10, MaxFrontier: 5}
-	a.Add(Stats{Rounds: 3, Messages: 7, MaxFrontier: 9})
-	if a.Rounds != 5 || a.Messages != 17 || a.MaxFrontier != 9 {
+	a := bsp.Stats{Rounds: 2, Messages: 10, MaxFrontier: 5, PullRounds: 1}
+	a.Add(bsp.Stats{Rounds: 3, Messages: 7, MaxFrontier: 9, PullRounds: 2})
+	if a.Rounds != 5 || a.Messages != 17 || a.MaxFrontier != 9 || a.PullRounds != 3 {
 		t.Fatalf("Add wrong: %+v", a)
 	}
 }
@@ -135,7 +144,7 @@ func TestParallelFor(t *testing.T) {
 	for _, n := range []int{0, 1, 100, 5000} {
 		var sum int64
 		hit := make([]int32, n)
-		ParallelFor(4, n, func(_, lo, hi int) {
+		bsp.ParallelFor(4, n, func(_, lo, hi int) {
 			var local int64
 			for i := lo; i < hi; i++ {
 				atomic.AddInt32(&hit[i], 1)
@@ -159,7 +168,7 @@ func TestParallelFor(t *testing.T) {
 }
 
 func TestParallelSum(t *testing.T) {
-	got := ParallelSum(3, 10000, func(_, lo, hi int) int64 {
+	got := bsp.ParallelSum(3, 10000, func(_, lo, hi int) int64 {
 		var s int64
 		for i := lo; i < hi; i++ {
 			s += int64(i)
@@ -172,18 +181,18 @@ func TestParallelSum(t *testing.T) {
 	}
 }
 
-func BenchmarkExpanderBFSMesh(b *testing.B) {
+func BenchmarkEngineBFSMesh(b *testing.B) {
 	g := graph.Mesh(300, 300)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bspBFS(g, 0, 0)
+		engineBFS(g, 0, 0, bsp.DirAuto)
 	}
 }
 
-func BenchmarkExpanderBFSSocial(b *testing.B) {
+func BenchmarkEngineBFSSocial(b *testing.B) {
 	g := graph.BarabasiAlbert(50000, 8, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		bspBFS(g, 0, 0)
+		engineBFS(g, 0, 0, bsp.DirAuto)
 	}
 }

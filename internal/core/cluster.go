@@ -29,7 +29,7 @@ func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
 	}
 	opt = opt.withDefaults()
 	n := g.NumNodes()
-	gr := newGrower(g, opt.Workers)
+	gr := newGrower(g, opt)
 
 	logn := log2n(n)
 	threshold := opt.ThresholdFactor * float64(tau) * logn
@@ -44,7 +44,7 @@ func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
 		centers = gr.selectUncovered(centers[:0], func(u graph.NodeID) bool {
 			return rng.Coin(p, seed, batch, uint64(u))
 		})
-		if len(centers) == 0 && len(gr.frontier) == 0 {
+		if len(centers) == 0 && gr.frontierLen() == 0 {
 			// Guard: nothing can grow and nothing was sampled; force one
 			// center so the iteration makes progress.
 			for u := 0; u < n; u++ {

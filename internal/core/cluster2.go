@@ -39,7 +39,7 @@ func Cluster2WithRadius(g *graph.Graph, rAlg int32, opt Options) (*Clustering, e
 func cluster2With(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
-	gr := newGrower(g, opt.Workers)
+	gr := newGrower(g, opt)
 	seed := rng.Mix64(opt.Seed, 0xc105_7e22, uint64(rAlg))
 
 	iters := int(math.Ceil(log2n(n)))

@@ -9,28 +9,28 @@ import (
 
 // grower is the shared engine for disjoint parallel cluster growing: it
 // maintains the ownership and distance arrays and advances all active
-// clusters one synchronous BSP round at a time. CLUSTER and CLUSTER2 (and
-// the package mpx, via its own variant) are thin drivers around it.
+// clusters one synchronous BSP round at a time on the direction-optimizing
+// traversal engine. CLUSTER and CLUSTER2 (and the package mpx, via its own
+// variant) are thin drivers around it.
 type grower struct {
-	g        *graph.Graph
-	e        *bsp.Expander
-	owner    []int32 // cluster index per node; -1 = uncovered
-	dist     []int32
-	centers  []graph.NodeID
-	frontier []graph.NodeID
-	covered  int
-	steps    int
-	stats    bsp.Stats
+	g       *graph.Graph
+	e       *bsp.Engine
+	owner   []int32 // cluster index per node; -1 = uncovered
+	dist    []int32
+	centers []graph.NodeID
+	covered int
+	steps   int
 }
 
-func newGrower(g *graph.Graph, workers int) *grower {
+func newGrower(g *graph.Graph, opt Options) *grower {
 	n := g.NumNodes()
 	gr := &grower{
 		g:     g,
-		e:     bsp.NewExpander(g, workers),
+		e:     bsp.NewEngine(g, opt.Workers),
 		owner: make([]int32, n),
 		dist:  make([]int32, n),
 	}
+	gr.e.SetDirection(opt.Direction)
 	for i := range gr.owner {
 		gr.owner[i] = -1
 	}
@@ -38,6 +38,8 @@ func newGrower(g *graph.Graph, workers int) *grower {
 }
 
 func (gr *grower) uncovered() int { return gr.g.NumNodes() - gr.covered }
+
+func (gr *grower) frontierLen() int { return gr.e.FrontierLen() }
 
 // addCenter makes u the center of a fresh singleton cluster and returns the
 // cluster index. u must be uncovered. Not safe for concurrent use: centers
@@ -50,50 +52,57 @@ func (gr *grower) addCenter(u graph.NodeID) int {
 	gr.centers = append(gr.centers, u)
 	gr.owner[u] = int32(id)
 	gr.dist[u] = 0
-	gr.frontier = append(gr.frontier, u)
+	gr.e.Seed(u)
 	gr.covered++
 	return id
 }
 
-// step grows every active cluster by one round: each frontier node claims
-// its uncovered neighbors (CAS, arbitrary winner under contention, as the
-// paper allows) and returns the number of newly covered nodes.
+// step grows every active cluster by one round and returns the number of
+// newly covered nodes. Top-down rounds have each frontier node claim its
+// uncovered neighbors (CAS, arbitrary winner under contention, as the
+// paper allows); bottom-up rounds have each uncovered node adopt its first
+// frontier neighbor in adjacency order — deterministic, so the pull
+// direction strengthens the schedule-independence of the round.
 func (gr *grower) step() int {
-	if len(gr.frontier) == 0 {
-		return 0
-	}
-	if len(gr.frontier) > gr.stats.MaxFrontier {
-		gr.stats.MaxFrontier = len(gr.frontier)
-	}
 	owner, dist := gr.owner, gr.dist
-	next, arcs := gr.e.Step(gr.frontier, func(_ int, u, v graph.NodeID) bool {
-		// owner[u] is stable (set in an earlier round), but read it
-		// atomically: other workers issue CAS attempts on arbitrary
-		// elements of the array, and mixed atomic/non-atomic access to the
-		// same address would trip the race detector.
-		o := atomic.LoadInt32(&owner[u])
-		if atomic.CompareAndSwapInt32(&owner[v], -1, o) {
+	rs := gr.e.Step(bsp.StepSpec{
+		Push: func(_ int, u, v graph.NodeID) bool {
+			// owner[u] is stable (set in an earlier round), but read it
+			// atomically: other workers issue CAS attempts on arbitrary
+			// elements of the array, and mixed atomic/non-atomic access to
+			// the same address would trip the race detector.
+			o := atomic.LoadInt32(&owner[u])
+			if atomic.CompareAndSwapInt32(&owner[v], -1, o) {
+				dist[v] = dist[u] + 1
+				return true
+			}
+			return false
+		},
+		Pull: func(_ int, v, u graph.NodeID) bool {
+			// v is owned by exactly this worker and u's state is stable, so
+			// plain writes suffice in the pull direction.
+			owner[v] = owner[u]
 			dist[v] = dist[u] + 1
 			return true
-		}
-		return false
+		},
 	})
-	gr.stats.Rounds++
-	gr.stats.Messages += arcs
+	if rs.Frontier == 0 {
+		return 0
+	}
 	gr.steps++
-	gr.frontier = next
-	gr.covered += len(next)
-	return len(next)
+	gr.covered += rs.Claimed
+	return rs.Claimed
 }
 
 // selectUncovered appends to dst every uncovered node u for which pick(u)
-// is true, scanning in parallel but returning nodes in ascending id order
-// so that center numbering is deterministic.
+// is true, scanning in parallel (on the engine's persistent pool) but
+// returning nodes in ascending id order so center numbering is
+// deterministic.
 func (gr *grower) selectUncovered(dst []graph.NodeID, pick func(u graph.NodeID) bool) []graph.NodeID {
 	n := gr.g.NumNodes()
 	w := gr.e.NumWorkers()
 	parts := make([][]graph.NodeID, w)
-	bsp.ParallelFor(w, n, func(worker, lo, hi int) {
+	gr.e.For(n, func(worker, lo, hi int) {
 		var local []graph.NodeID
 		for u := lo; u < hi; u++ {
 			if gr.owner[u] == -1 && pick(graph.NodeID(u)) {
@@ -108,7 +117,8 @@ func (gr *grower) selectUncovered(dst []graph.NodeID, pick func(u graph.NodeID) 
 	return dst
 }
 
-// finish freezes the grower into a Clustering, computing per-cluster radii.
+// finish freezes the grower into a Clustering, computing per-cluster radii,
+// and releases the engine's worker pool.
 func (gr *grower) finish(batches int) *Clustering {
 	n := gr.g.NumNodes()
 	c := &Clustering{
@@ -119,8 +129,9 @@ func (gr *grower) finish(batches int) *Clustering {
 		Radii:       make([]int32, len(gr.centers)),
 		GrowthSteps: gr.steps,
 		Batches:     batches,
-		Stats:       gr.stats,
+		Stats:       gr.e.Stats(),
 	}
+	gr.e.Close()
 	for u := 0; u < n; u++ {
 		c.Owner[u] = graph.NodeID(gr.owner[u])
 		if gr.owner[u] >= 0 && gr.dist[u] > c.Radii[gr.owner[u]] {

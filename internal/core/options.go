@@ -1,6 +1,10 @@
 package core
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/bsp"
+)
 
 // Options configures the randomized decomposition algorithms.
 // The zero value selects paper-faithful defaults.
@@ -22,6 +26,12 @@ type Options struct {
 	// ThresholdFactor is the constant in the loop guard
 	// |uncovered| >= ThresholdFactor*τ*log n (the paper uses 8).
 	ThresholdFactor float64
+
+	// Direction pins the traversal engine's superstep direction. The zero
+	// value (bsp.DirAuto) selects the hybrid push/pull switching; DirPush
+	// forces the pure top-down baseline (used by the engine-mode
+	// benchmarks), DirPull forces bottom-up.
+	Direction bsp.Direction
 }
 
 func (o Options) withDefaults() Options {

@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/bsp"
+)
 
 // Exact diameter computation via the iFUB (iterative Fringe Upper Bound)
 // method of Crescenzi et al. [10 in the paper]. iFUB computes the exact
@@ -9,8 +14,39 @@ import "sort"
 // scan nodes in decreasing distance from r; the eccentricity of the nodes
 // at level i, plus the bound 2i for everything below, pinch the diameter.
 //
-// The weighted analogue (Dijkstra in place of BFS, used for quotient
-// graphs) follows the same scheme.
+// Each BFS runs on one shared direction-optimizing bsp.Engine (persistent
+// worker pool, push/pull switching), which matters because the repeated
+// full BFS here is the dominant cost of exact ground truth. The weighted
+// analogue (Dijkstra in place of BFS, used for weighted quotient graphs)
+// keeps its sequential searches: Dijkstra's priority order does not map
+// onto unit-step frontier supersteps.
+
+// engineBFSInto runs one BFS from src on the shared engine, filling dist
+// (which must be pre-filled with -1) and returning the eccentricity of src
+// within its component. Push claims race through CAS; pull adoptions write
+// plainly, since each candidate belongs to exactly one worker.
+func engineBFSInto(e *bsp.Engine, src NodeID, dist []int32) int32 {
+	e.Reset()
+	e.Seed(src)
+	dist[src] = 0
+	ecc := int32(0)
+	for depth := int32(1); e.FrontierLen() > 0; depth++ {
+		d := depth
+		rs := e.Step(bsp.StepSpec{
+			Push: func(_ int, u, v NodeID) bool {
+				return atomic.CompareAndSwapInt32(&dist[v], -1, d)
+			},
+			Pull: func(_ int, v, u NodeID) bool {
+				dist[v] = d
+				return true
+			},
+		})
+		if rs.Claimed > 0 {
+			ecc = d
+		}
+	}
+	return ecc
+}
 
 // ExactDiameter computes the exact diameter of the graph. On a
 // disconnected graph it returns the maximum diameter over components.
@@ -53,8 +89,9 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 		return true
 	}
 
+	e := bsp.NewEngine(g, 0)
+	defer e.Close()
 	dist := make([]int32, n)
-	queue := make([]NodeID, 0, n)
 	reset := func() {
 		for i := range dist {
 			dist[i] = -1
@@ -73,7 +110,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 		return 0, false
 	}
 	reset()
-	g.BFSInto(start, dist, queue)
+	engineBFSInto(e, start, dist)
 	a := argMax32(dist)
 	if !spend() {
 		return 0, false
@@ -82,7 +119,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	for i := range distA {
 		distA[i] = -1
 	}
-	eccA := g.BFSInto(a, distA, queue)
+	eccA := engineBFSInto(e, a, distA)
 	b := argMax32(distA)
 	lower := eccA
 
@@ -100,7 +137,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 		return lower, false
 	}
 	reset()
-	eccR1 := g.BFSInto(r1, dist, queue)
+	eccR1 := engineBFSInto(e, r1, dist)
 	if eccR1 > lower {
 		lower = eccR1
 	}
@@ -112,7 +149,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	for i := range distC {
 		distC[i] = -1
 	}
-	eccC := g.BFSInto(c, distC, queue)
+	eccC := engineBFSInto(e, c, distC)
 	if eccC > lower {
 		lower = eccC
 	}
@@ -128,8 +165,8 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	for i := range distB {
 		distB[i] = -1
 	}
-	if e := g.BFSInto(b, distB, queue); e > lower {
-		lower = e
+	if ecc := engineBFSInto(e, b, distB); ecc > lower {
+		lower = ecc
 	}
 
 	// Root: the node minimizing max(dist_a, dist_b, dist_c).
@@ -156,7 +193,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 		return lower, false
 	}
 	reset()
-	eccR := g.BFSInto(r, dist, queue)
+	eccR := engineBFSInto(e, r, dist)
 	if eccR > lower {
 		lower = eccR
 	}
@@ -184,7 +221,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 				return lower, false
 			}
 			reset()
-			ecc := g.BFSInto(u, dist, queue)
+			ecc := engineBFSInto(e, u, dist)
 			if ecc > lower {
 				lower = ecc
 				if 2*level <= lower {

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"fmt"
 	"io"
 	"os"
@@ -95,12 +96,24 @@ func SaveEdgeList(path string, g *Graph) error {
 	return f.Close()
 }
 
-// LoadEdgeList reads a graph from the named file.
+// LoadEdgeList reads a graph from the named file. Gzip-compressed files
+// (as the SNAP datasets are distributed) are decompressed transparently;
+// compression is detected from the gzip magic bytes, not the file name, so
+// a misnamed .txt works too.
 func LoadEdgeList(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return ReadEdgeList(f)
+	br := bufio.NewReaderSize(f, 1<<20)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("graph: %s: %w", path, err)
+		}
+		defer zr.Close()
+		return ReadEdgeList(zr)
+	}
+	return ReadEdgeList(br)
 }

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"compress/gzip"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -70,6 +72,49 @@ func TestSaveLoadEdgeList(t *testing.T) {
 	}
 	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
 		t.Fatal("save/load mismatch")
+	}
+}
+
+func TestLoadEdgeListGzip(t *testing.T) {
+	g := Mesh(8, 5)
+	var plain bytes.Buffer
+	if err := WriteEdgeList(&plain, g); err != nil {
+		t.Fatal(err)
+	}
+	var packed bytes.Buffer
+	zw := gzip.NewWriter(&packed)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Detection is by magic bytes, so both a .gz name and a misnamed .txt
+	// must decompress.
+	for _, name := range []string{"g.txt.gz", "mislabeled.txt"} {
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, packed.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadEdgeList(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("%s: gzip round trip mismatch", name)
+		}
+	}
+}
+
+func TestLoadEdgeListCorruptGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.gz")
+	// Gzip magic followed by garbage must surface an error, not parse as
+	// a text edge list.
+	if err := os.WriteFile(path, []byte{0x1f, 0x8b, 0xff, 0x00, 0x01}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEdgeList(path); err == nil {
+		t.Fatal("corrupt gzip should fail")
 	}
 }
 

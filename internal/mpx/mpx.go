@@ -112,11 +112,30 @@ func Decompose(g *graph.Graph, opt Options) (*core.Clustering, error) {
 	var centers []graph.NodeID
 	centerStart := make([]float64, 0, 64)
 
-	e := bsp.NewExpander(g, workers)
-	var stats bsp.Stats
-	var frontier []graph.NodeID
+	e := bsp.NewEngine(g, workers)
+	defer e.Close()
+	// The two-sided step: a push offers (arrival+1, owner) to a neighbor, a
+	// pull has an uncovered node collect the same offer from a frontier
+	// neighbor. Both funnel through casMin, and ExhaustivePull makes the
+	// engine present every frontier neighbor (not just the first match), so
+	// the claimed word is the minimum over all in-round offers — exactly
+	// the push-mode outcome, keeping MPX bit-for-bit deterministic across
+	// directions and worker counts.
+	spec := bsp.StepSpec{
+		Push: func(_ int, u, v graph.NodeID) bool {
+			word := atomic.LoadUint64(&slot[u])
+			arr, owner := unpack(word)
+			return casMin(&slot[v], pack(arr+1, owner))
+		},
+		Pull: func(_ int, v, u graph.NodeID) bool {
+			word := atomic.LoadUint64(&slot[u])
+			arr, owner := unpack(word)
+			return casMin(&slot[v], pack(arr+1, owner))
+		},
+		ExhaustivePull: true,
+	}
 	covered := 0
-	for t := 0; covered < n || len(frontier) > 0; t++ {
+	for t := 0; covered < n || e.FrontierLen() > 0; t++ {
 		// Phase 1 (sequential, per round): activate this bucket's centers.
 		// A node starts its own cluster unless something reached it strictly
 		// earlier than its own start time.
@@ -132,32 +151,26 @@ func Decompose(g *graph.Graph, opt Options) (*core.Clustering, error) {
 				centerStart = append(centerStart, start[u])
 				atomic.StoreUint64(&slot[u], pack(float32(start[u]), id))
 				if cur == slotSentinel {
-					frontier = append(frontier, u)
+					// First claim: join the frontier (an already-covered
+					// node taking over as its own center is still in the
+					// current frontier from the round that claimed it).
+					e.Seed(u)
 					covered++
 				}
 			}
 		}
-		if len(frontier) == 0 {
+		if e.FrontierLen() == 0 {
 			continue // wait for the next activation bucket
-		}
-		if len(frontier) > stats.MaxFrontier {
-			stats.MaxFrontier = len(frontier)
 		}
 		// Phase 2: expand all active clusters by one unit step; fractional
 		// arrival ties inside the round resolve via atomic min.
-		next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
-			word := atomic.LoadUint64(&slot[u])
-			arr, owner := unpack(word)
-			return casMin(&slot[v], pack(arr+1, owner))
-		})
-		stats.Rounds++
-		stats.Messages += arcs
-		covered += len(next)
-		frontier = next
+		rs := e.Step(spec)
+		covered += rs.Claimed
 		if t > 2*n+int(deltaMax)+4 {
 			return nil, errors.New("mpx: failed to converge (internal error)")
 		}
 	}
+	stats := e.Stats()
 
 	// Assemble the clustering: hop distance from the center is recovered
 	// from the arrival time, dist = arrival − start(center).

@@ -5,9 +5,11 @@
 // the diameter within a factor two; that single-BFS bound is what the
 // paper's BFS competitor reports. The two-sweep refinement (BFS from the
 // farthest node found) gives the classical lower bound as well. Either way
-// the computation takes Θ(∆) BSP rounds with aggregate communication linear
-// in m — exactly the cost profile the CLUSTER-based estimator improves on
-// for long-diameter graphs.
+// the computation takes Θ(∆) BSP rounds — exactly the cost profile the
+// CLUSTER-based estimator improves on for long-diameter graphs. The BFS
+// itself runs on the direction-optimizing engine, so on low-diameter
+// graphs its aggregate communication drops well below the 2m arcs of the
+// pure top-down execution.
 package pbfs
 
 import (
@@ -33,14 +35,23 @@ type Result struct {
 	Lower int32
 	// Dist holds the hop distances from Source (-1 = unreachable).
 	Dist []int32
-	// Stats counts BSP rounds (Θ(∆)) and messages (Θ(m) aggregate).
+	// Stats counts BSP rounds (Θ(∆)) and messages (arcs scanned in either
+	// direction; at most Θ(m) aggregate, less when the engine runs
+	// bottom-up rounds).
 	Stats bsp.Stats
 	// Elapsed is the wall-clock time.
 	Elapsed time.Duration
 }
 
-// Run performs one parallel BFS from src.
+// Run performs one parallel BFS from src with the hybrid engine.
 func Run(g *graph.Graph, src graph.NodeID, workers int) (*Result, error) {
+	return RunDirection(g, src, workers, bsp.DirAuto)
+}
+
+// RunDirection performs one parallel BFS from src with the traversal
+// direction pinned (bsp.DirAuto selects the hybrid heuristic; DirPush is
+// the pure top-down baseline the engine-mode benchmarks compare against).
+func RunDirection(g *graph.Graph, src graph.NodeID, workers int, dir bsp.Direction) (*Result, error) {
 	start := time.Now()
 	n := g.NumNodes()
 	if n == 0 {
@@ -54,25 +65,26 @@ func Run(g *graph.Graph, src graph.NodeID, workers int) (*Result, error) {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	e := bsp.NewExpander(g, workers)
-	frontier := []graph.NodeID{src}
-	var stats bsp.Stats
-	depth := int32(0)
+	e := bsp.NewEngine(g, workers)
+	defer e.Close()
+	e.SetDirection(dir)
+	e.Seed(src)
 	ecc := int32(0)
-	for len(frontier) > 0 {
-		if len(frontier) > stats.MaxFrontier {
-			stats.MaxFrontier = len(frontier)
-		}
-		depth++
-		next, arcs := e.Step(frontier, func(_ int, u, v graph.NodeID) bool {
-			return atomic.CompareAndSwapInt32(&dist[v], -1, depth)
+	for depth := int32(1); e.FrontierLen() > 0; depth++ {
+		d := depth
+		rs := e.Step(bsp.StepSpec{
+			Push: func(_ int, u, v graph.NodeID) bool {
+				return atomic.CompareAndSwapInt32(&dist[v], -1, d)
+			},
+			Pull: func(_ int, v, u graph.NodeID) bool {
+				// v belongs to this worker alone in a pull round.
+				dist[v] = d
+				return true
+			},
 		})
-		stats.Rounds++
-		stats.Messages += arcs
-		if len(next) > 0 {
+		if rs.Claimed > 0 {
 			ecc = depth
 		}
-		frontier = next
 	}
 	return &Result{
 		Source:  src,
@@ -80,7 +92,7 @@ func Run(g *graph.Graph, src graph.NodeID, workers int) (*Result, error) {
 		Upper:   2 * ecc,
 		Lower:   ecc,
 		Dist:    dist,
-		Stats:   stats,
+		Stats:   e.Stats(),
 		Elapsed: time.Since(start),
 	}, nil
 }

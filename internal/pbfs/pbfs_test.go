@@ -3,6 +3,7 @@ package pbfs
 import (
 	"testing"
 
+	"repro/internal/bsp"
 	"repro/internal/graph"
 )
 
@@ -62,12 +63,22 @@ func TestRunRoundsLinearInEccentricity(t *testing.T) {
 
 func TestRunAggregateMessagesLinear(t *testing.T) {
 	g := graph.Mesh(30, 30)
+	// Forced top-down scans every arc of a connected graph exactly once per
+	// endpoint activation: messages = 2m. The hybrid default may only
+	// improve on that (pull rounds replace scans with cheaper probes).
+	push, err := RunDirection(g, 0, 0, bsp.DirPush)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if push.Stats.Messages != int64(g.NumArcs()) {
+		t.Fatalf("forced-push messages=%d want %d (2m)", push.Stats.Messages, g.NumArcs())
+	}
 	res, err := Run(g, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Stats.Messages != int64(g.NumArcs()) {
-		t.Fatalf("messages=%d want %d (2m)", res.Stats.Messages, g.NumArcs())
+	if res.Stats.Messages > push.Stats.Messages {
+		t.Fatalf("hybrid messages=%d exceed top-down %d", res.Stats.Messages, push.Stats.Messages)
 	}
 }
 
@@ -117,8 +128,15 @@ func TestTwoSweepAccumulatesStats(t *testing.T) {
 	if double.Stats.Rounds <= single.Stats.Rounds {
 		t.Fatal("two-sweep should count both sweeps' rounds")
 	}
-	if double.Stats.Messages != 2*single.Stats.Messages {
-		t.Fatalf("two-sweep messages %d want %d", double.Stats.Messages, 2*single.Stats.Messages)
+	// Both sweeps' messages accumulate; each sweep is bounded by the
+	// top-down cost 2m (the hybrid engine can only undercut it).
+	if double.Stats.Messages <= single.Stats.Messages {
+		t.Fatalf("two-sweep messages %d should exceed single sweep's %d",
+			double.Stats.Messages, single.Stats.Messages)
+	}
+	if double.Stats.Messages > 2*int64(g.NumArcs()) {
+		t.Fatalf("two-sweep messages %d exceed two full top-down BFS (%d)",
+			double.Stats.Messages, 2*g.NumArcs())
 	}
 }
 

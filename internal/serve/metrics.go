@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -22,11 +23,16 @@ type metrics struct {
 	inFlight  atomic.Int64 // requests currently holding a worker slot
 }
 
-func (m *metrics) buildTimer() func() {
+// buildTimer returns a stop closure that records the build in the
+// aggregate counters and reports its duration (so callers can attach the
+// same measurement to the per-artifact cost line).
+func (m *metrics) buildTimer() func() time.Duration {
 	start := time.Now()
-	return func() {
+	return func() time.Duration {
+		d := time.Since(start)
 		m.builds.Add(1)
-		m.buildNs.Add(time.Since(start).Nanoseconds())
+		m.buildNs.Add(d.Nanoseconds())
+		return d
 	}
 }
 
@@ -48,6 +54,10 @@ type Stats struct {
 	Workers        int     `json:"workers"`
 	Graphs         int     `json:"graphs"`
 	Artifacts      int     `json:"artifacts"`
+	// ArtifactDetails lists the build cost of every completed cached
+	// artifact (BSP rounds with the bottom-up share, messages, max
+	// frontier, build wall-clock), sorted by key for stable output.
+	ArtifactDetails []ArtifactCost `json:"artifact_details"`
 }
 
 // Stats returns a point-in-time view of the server's counters.
@@ -78,6 +88,14 @@ func (s *Server) Stats() Stats {
 	s.mu.RLock()
 	st.Graphs = len(s.graphs)
 	st.Artifacts = len(s.cache)
+	for _, e := range s.cache {
+		if e.completed() && e.cost != nil {
+			st.ArtifactDetails = append(st.ArtifactDetails, *e.cost)
+		}
+	}
 	s.mu.RUnlock()
+	sort.Slice(st.ArtifactDetails, func(i, j int) bool {
+		return st.ArtifactDetails[i].Key < st.ArtifactDetails[j].Key
+	})
 	return st
 }

@@ -81,15 +81,32 @@ func (k Key) String() string {
 // cache slot holds an in-flight build; the HTTP layer maps it to 503.
 var ErrCacheFull = errors.New("serve: artifact cache full of in-flight builds")
 
+// ArtifactCost is the per-artifact build cost surfaced by /stats: what the
+// decomposition behind a cached artifact spent, in the paper's own cost
+// units (BSP rounds and arcs-scanned messages) plus wall-clock. PullRounds
+// says how many supersteps the direction-optimizing engine ran bottom-up —
+// the serving-layer view of the hybrid traversal win.
+type ArtifactCost struct {
+	Key         string  `json:"key"`
+	Source      string  `json:"source"` // "build" or "snapshot"
+	BuildMillis float64 `json:"build_millis"`
+	Rounds      int     `json:"bsp_rounds"`
+	PullRounds  int     `json:"bsp_pull_rounds"`
+	Messages    int64   `json:"bsp_messages"`
+	MaxFrontier int     `json:"max_frontier"`
+}
+
 // entry is a cache slot. ready is closed when val/err are set; concurrent
 // requests for an in-flight key block on it instead of duplicating the
 // build (single flight). lastUsed is the server's logical clock at the
 // entry's most recent touch, driving LRU eviction; completed entries are
-// recognized by their closed ready channel.
+// recognized by their closed ready channel. cost is written once before
+// ready closes and read only by Stats afterwards.
 type entry struct {
 	ready    chan struct{}
 	val      any
 	err      error
+	cost     *ArtifactCost
 	lastUsed atomic.Int64
 }
 
@@ -178,6 +195,7 @@ func (s *Server) InstallSnapshot(a *snapshot.Artifact) error {
 	}
 	key := Key{Graph: name, Kind: "oracle", Tau: a.Meta.Tau, Seed: a.Meta.Seed, Algorithm: algo}
 	e := &entry{ready: make(chan struct{}), val: a.Oracle}
+	e.cost = costFor(key, "snapshot", 0, a.Oracle.Clustering())
 	e.lastUsed.Store(s.clock.Add(1))
 	close(e.ready)
 	s.mu.Lock()
@@ -300,12 +318,45 @@ func (s *Server) evictLRULocked() bool {
 	return found
 }
 
+// artifactClustering digs the decomposition out of a cached artifact, for
+// build-cost reporting. Unknown artifact kinds report nil (no cost line).
+func artifactClustering(val any) *core.Clustering {
+	switch v := val.(type) {
+	case *core.Oracle:
+		return v.Clustering()
+	case *core.DiameterResult:
+		return v.Clustering
+	case *core.KCenterResult:
+		return v.Clustering
+	}
+	return nil
+}
+
+func costFor(key Key, source string, millis float64, cl *core.Clustering) *ArtifactCost {
+	if cl == nil {
+		return nil
+	}
+	return &ArtifactCost{
+		Key:         key.String(),
+		Source:      source,
+		BuildMillis: millis,
+		Rounds:      cl.Stats.Rounds,
+		PullRounds:  cl.Stats.PullRounds,
+		Messages:    cl.Stats.Messages,
+		MaxFrontier: cl.Stats.MaxFrontier,
+	}
+}
+
 func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, error) {
 	s.met.misses.Add(1)
 
 	stop := s.met.buildTimer()
 	e.val, e.err = build()
-	stop()
+	elapsed := stop()
+	if e.err == nil {
+		millis := float64(elapsed.Nanoseconds()) / 1e6
+		e.cost = costFor(key, "build", millis, artifactClustering(e.val))
+	}
 	if e.err != nil {
 		s.mu.Lock()
 		// Only drop the entry if it is still ours: RegisterGraph may have

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"testing"
 
@@ -391,5 +392,70 @@ func TestFailedBuildRetries(t *testing.T) {
 	}
 	if st := s.Stats(); st.Builds != 2 {
 		t.Fatalf("builds = %d, want 2 (failed builds are not cached)", st.Builds)
+	}
+}
+
+func TestStatsSurfacesArtifactBuildCost(t *testing.T) {
+	g := graph.RoadLike(40, 40, 0.4, 5)
+	s, ts := newTestServer(t, "road", g)
+	if _, err := s.Oracle(context.Background(), "road", 4, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Diameter(context.Background(), "road", 4, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(st.ArtifactDetails) != 2 {
+		t.Fatalf("want 2 artifact cost lines, got %+v", st.ArtifactDetails)
+	}
+	for _, d := range st.ArtifactDetails {
+		if d.Source != "build" {
+			t.Fatalf("artifact %q source %q want build", d.Key, d.Source)
+		}
+		if d.Rounds <= 0 || d.Messages <= 0 || d.MaxFrontier <= 0 {
+			t.Fatalf("artifact %q has empty BSP cost: %+v", d.Key, d)
+		}
+		if d.BuildMillis <= 0 {
+			t.Fatalf("artifact %q has no build wall-clock: %+v", d.Key, d)
+		}
+		if d.PullRounds < 0 || d.PullRounds > d.Rounds {
+			t.Fatalf("artifact %q pull rounds inconsistent: %+v", d.Key, d)
+		}
+	}
+	// Deterministic ordering by key.
+	if !sort.SliceIsSorted(st.ArtifactDetails, func(i, j int) bool {
+		return st.ArtifactDetails[i].Key < st.ArtifactDetails[j].Key
+	}) {
+		t.Fatal("artifact details not sorted by key")
+	}
+}
+
+func TestInstallSnapshotReportsSnapshotCost(t *testing.T) {
+	g := graph.Mesh(15, 15)
+	s := New(Config{Workers: 4})
+	if err := s.RegisterGraph("m", g); err != nil {
+		t.Fatal(err)
+	}
+	art, err := s.SnapshotArtifact(context.Background(), "m", 2, 7, "cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(Config{Workers: 4})
+	if err := s2.InstallSnapshot(art); err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if len(st.ArtifactDetails) != 1 {
+		t.Fatalf("want 1 artifact cost line, got %+v", st.ArtifactDetails)
+	}
+	d := st.ArtifactDetails[0]
+	if d.Source != "snapshot" || d.BuildMillis != 0 {
+		t.Fatalf("snapshot-installed artifact misreported: %+v", d)
+	}
+	if d.Rounds <= 0 || d.Messages <= 0 {
+		t.Fatalf("snapshot cost should carry the persisted BSP stats: %+v", d)
 	}
 }

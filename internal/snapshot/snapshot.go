@@ -42,7 +42,10 @@ import (
 var magic = [4]byte{'R', 'P', 'S', 'N'}
 
 // Version is the current format version. Readers reject other versions.
-const Version uint16 = 1
+// v2 added Stats.PullRounds (direction-optimizing engine); v1 snapshots
+// are rejected and rebuild from scratch — the snapshot is a cache, not a
+// source of truth.
+const Version uint16 = 2
 
 const flagOracle uint16 = 1 << 0
 
@@ -131,6 +134,7 @@ func Write(w io.Writer, a *Artifact) error {
 		e.i64(int64(cl.Stats.Rounds))
 		e.i64(cl.Stats.Messages)
 		e.i64(int64(cl.Stats.MaxFrontier))
+		e.i64(int64(cl.Stats.PullRounds))
 		for _, row := range a.Oracle.APSP() {
 			e.i64s(row)
 		}
@@ -205,6 +209,7 @@ func Read(r io.Reader) (*Artifact, error) {
 			Rounds:      int(d.i64()),
 			Messages:    d.i64(),
 			MaxFrontier: int(d.i64()),
+			PullRounds:  int(d.i64()),
 		}
 		apsp := make([][]int64, 0, k)
 		for i := 0; i < k && d.err == nil; i++ {

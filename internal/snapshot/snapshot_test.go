@@ -91,9 +91,14 @@ func TestOracleRoundTrip(t *testing.T) {
 			t.Fatalf("LowerQuery(%d,%d) = %d want %d", u, v, got, w)
 		}
 	}
-	// The decoded clustering must satisfy the full decomposition invariants.
+	// The decoded clustering must satisfy the full decomposition invariants
+	// and carry the build's BSP cost counters unchanged (including the
+	// direction-optimizing engine's pull-round share).
 	if err := got.Oracle.Clustering().Validate(); err != nil {
 		t.Fatal(err)
+	}
+	if got.Oracle.Clustering().Stats != a.Oracle.Clustering().Stats {
+		t.Fatalf("stats %+v want %+v", got.Oracle.Clustering().Stats, a.Oracle.Clustering().Stats)
 	}
 }
 

@@ -8,8 +8,10 @@
 // CLUSTER2), the derived k-center and diameter approximations, a linear-
 // space approximate distance oracle, the competing algorithms of the
 // evaluation (MPX random-shift decomposition, parallel BFS, HADI/ANF
-// sketches), the execution substrates (a BSP superstep engine and a
-// simulator of the MR(MG, ML) MapReduce model), synthetic graph
+// sketches), the execution substrates (a direction-optimizing BSP
+// traversal engine with a persistent worker pool and hybrid top-down/
+// bottom-up supersteps, plus a simulator of the MR(MG, ML) MapReduce
+// model), synthetic graph
 // generators, and the full experiment harness regenerating every table and
 // figure of the paper. Beyond the batch pipeline it provides an online
 // serving layer: a concurrent HTTP/JSON query service over the built
