@@ -26,6 +26,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mpx"
 	"repro/internal/pbfs"
+	"repro/internal/quotient"
 	"repro/internal/rng"
 )
 
@@ -288,6 +289,92 @@ func BenchmarkEngineModesCluster(b *testing.B) {
 				arcs = cl.Stats.Messages
 			}
 			b.ReportMetric(float64(arcs), "arcs")
+		})
+	}
+}
+
+// --- Weighted layer: parallel delta-stepping vs the sequential seed path ---
+
+// Shared weighted instance at the acceptance scale: G(20k, 100k) with
+// weights uniform in [1, 100].
+var (
+	benchWeightedOnce sync.Once
+	benchWeightedGnp  *graph.Weighted
+	benchWeightedBase *graph.Graph
+)
+
+func benchWeighted() (*graph.Graph, *graph.Weighted) {
+	benchWeightedOnce.Do(func() {
+		benchWeightedBase = graph.ErdosRenyi(20000, 100000, 11)
+		edges := benchWeightedBase.EdgeList()
+		r := rng.New(13)
+		ws := make([]int32, len(edges))
+		for i := range ws {
+			ws[i] = int32(1 + r.Intn(100))
+		}
+		benchWeightedGnp = graph.MustWeighted(benchWeightedBase.NumNodes(), edges, ws)
+	})
+	return benchWeightedBase, benchWeightedGnp
+}
+
+// BenchmarkWeightedClusterModes scales the delta-stepping growth across
+// worker counts (workers=1 is the sequential baseline — the same bucketed
+// relaxations Dijkstra's priority queue would perform, minus the heap).
+// Relaxations/op and buckets/op report the honest weighted work alongside
+// ns/op, the way arcs does for the unweighted engine benches.
+func BenchmarkWeightedClusterModes(b *testing.B) {
+	_, wg := benchWeighted()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			var st bsp.Stats
+			for i := 0; i < b.N; i++ {
+				wc, err := core.WeightedCluster(wg, 16, core.Options{Seed: 1, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = wc.Stats
+			}
+			b.ReportMetric(float64(st.Relaxations), "relaxations")
+			b.ReportMetric(float64(st.Buckets), "buckets")
+		})
+	}
+}
+
+// BenchmarkOracleBuild compares the oracle's quotient APSP stage: the seed
+// path (one sequential binary-heap Dijkstra plus one BFS per cluster, run
+// back to back) against the delta-stepping build with source-level fan-out.
+// The decomposition is shared and built outside the timer, so the numbers
+// isolate exactly the stage this PR parallelizes.
+func BenchmarkOracleBuild(b *testing.B) {
+	g, _ := benchWeighted()
+	cl, err := core.Cluster(g, 8, core.Options{Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := cl.NumClusters()
+	b.Run("dijkstra-seq", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q, wq, err := quotient.BuildWeighted(cl.G, cl.Owner, cl.Dist, k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for c := 0; c < k; c++ {
+				_ = wq.Dijkstra(graph.NodeID(c))
+				_ = q.BFS(graph.NodeID(c))
+			}
+		}
+	})
+	for _, w := range []int{1, 8} {
+		b.Run("delta/"+benchName("workers", w), func(b *testing.B) {
+			var st bsp.Stats
+			for i := 0; i < b.N; i++ {
+				o, err := core.OracleFromClustering(cl, core.Options{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = o.APSPStats()
+			}
+			b.ReportMetric(float64(st.Relaxations), "relaxations")
 		})
 	}
 }

@@ -22,6 +22,13 @@
 // chosen, succeeds"). Pull adoptions are deterministic first-match in
 // adjacency order. Either way the set of nodes claimed in a round is
 // schedule-independent.
+//
+// The weighted algorithms (WeightedCluster growth, weighted iFUB, the
+// oracle's quotient APSP) run on a second engine in this package,
+// WeightedEngine: a delta-stepping bucket schedule whose supersteps are
+// relaxation phases and whose claims are atomic min-reductions — see
+// weighted.go. Stats.Relaxations and Stats.Buckets are its counters, the
+// weighted counterpart of Messages and Rounds.
 package bsp
 
 import (
@@ -45,6 +52,14 @@ type Stats struct {
 	MaxFrontier int
 	// PullRounds is how many of the supersteps ran bottom-up.
 	PullRounds int
+	// Relaxations is the number of weighted edge relaxations offered by the
+	// delta-stepping engine — the weighted counterpart of Messages, counting
+	// every (tentative distance + weight) offer whether or not it won its
+	// min-reduction. Zero for unweighted runs.
+	Relaxations int64
+	// Buckets is the number of delta-stepping buckets settled. Zero for
+	// unweighted runs.
+	Buckets int
 }
 
 // Add accumulates other into s.
@@ -52,6 +67,8 @@ func (s *Stats) Add(other Stats) {
 	s.Rounds += other.Rounds
 	s.Messages += other.Messages
 	s.PullRounds += other.PullRounds
+	s.Relaxations += other.Relaxations
+	s.Buckets += other.Buckets
 	if other.MaxFrontier > s.MaxFrontier {
 		s.MaxFrontier = other.MaxFrontier
 	}

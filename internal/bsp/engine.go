@@ -2,7 +2,6 @@ package bsp
 
 import (
 	"math/bits"
-	"sync"
 )
 
 // Topology is the adjacency access the engine needs. *graph.Graph satisfies
@@ -127,9 +126,7 @@ type Engine struct {
 	candBufs [][]NodeID // gatherPush per-worker candidate lists
 
 	// Persistent pool: workers-1 goroutines fed per-round closures.
-	work   []chan func(worker int)
-	wg     sync.WaitGroup
-	closed bool
+	pool *Pool
 }
 
 // NewEngine returns an engine over t using the given number of workers
@@ -143,6 +140,7 @@ func NewEngine(t Topology, workers int) *Engine {
 		n:            n,
 		arcsTot:      int64(t.NumArcs()),
 		workers:      w,
+		pool:         NewPool(w),
 		visited:      NewBitmap(n),
 		frontierBits: NewBitmap(n),
 		unvisArcs:    int64(t.NumArcs()),
@@ -228,43 +226,7 @@ func (e *Engine) SetFrontier(us []NodeID) {
 }
 
 // Close stops the pool goroutines. The engine must not be used afterwards.
-func (e *Engine) Close() {
-	if e.closed {
-		return
-	}
-	e.closed = true
-	for _, ch := range e.work {
-		close(ch)
-	}
-	e.work = nil
-}
-
-// run executes fn(worker) on every worker (0 = the caller) and waits.
-func (e *Engine) run(fn func(worker int)) {
-	if e.workers == 1 {
-		fn(0)
-		return
-	}
-	if e.work == nil {
-		e.work = make([]chan func(worker int), e.workers-1)
-		for i := range e.work {
-			ch := make(chan func(worker int))
-			e.work[i] = ch
-			go func(w int, ch chan func(worker int)) {
-				for f := range ch {
-					f(w)
-					e.wg.Done()
-				}
-			}(i+1, ch)
-		}
-	}
-	e.wg.Add(e.workers - 1)
-	for _, ch := range e.work {
-		ch <- fn
-	}
-	fn(0)
-	e.wg.Wait()
-}
+func (e *Engine) Close() { e.pool.Close() }
 
 // chunk64 returns the 64-aligned chunk size splitting n across the pool.
 func (e *Engine) chunk64(n int) int {
@@ -284,7 +246,7 @@ func (e *Engine) For(n int, fn func(worker, lo, hi int)) {
 		return
 	}
 	chunk := e.chunk64(n)
-	e.run(func(w int) {
+	e.pool.Run(func(w int) {
 		lo := w * chunk
 		if lo >= n {
 			return
@@ -464,7 +426,7 @@ func (e *Engine) forChunks(n int, aligned bool, body func(w, lo, hi int)) {
 	if aligned {
 		chunk = (chunk + 63) &^ 63
 	}
-	e.run(func(w int) {
+	e.pool.Run(func(w int) {
 		lo := w * chunk
 		if lo >= n {
 			e.bufs[w] = e.bufs[w][:0]

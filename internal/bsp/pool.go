@@ -1,0 +1,67 @@
+package bsp
+
+import "sync"
+
+// Pool is the persistent worker pool shared by the traversal engines: a set
+// of goroutines spawned once and fed per-superstep closures, so a
+// multi-round computation (BFS levels, delta-stepping buckets) pays the
+// goroutine startup cost once rather than per round.
+//
+// Worker 0 is always the calling goroutine; the pool owns workers 1..w-1.
+// The goroutines are started lazily, on the first Run, so a computation
+// small enough to stay under the engines' inline thresholds never spawns
+// them at all.
+type Pool struct {
+	workers int
+	work    []chan func(worker int)
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+// NewPool returns a pool with the given parallelism (non-positive selects
+// GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	return &Pool{workers: Workers(workers)}
+}
+
+// Workers returns the pool's parallelism.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(worker) on every worker (0 = the caller) and waits.
+func (p *Pool) Run(fn func(worker int)) {
+	if p.workers == 1 {
+		fn(0)
+		return
+	}
+	if p.work == nil {
+		p.work = make([]chan func(worker int), p.workers-1)
+		for i := range p.work {
+			ch := make(chan func(worker int))
+			p.work[i] = ch
+			go func(w int, ch chan func(worker int)) {
+				for f := range ch {
+					f(w)
+					p.wg.Done()
+				}
+			}(i+1, ch)
+		}
+	}
+	p.wg.Add(p.workers - 1)
+	for _, ch := range p.work {
+		ch <- fn
+	}
+	fn(0)
+	p.wg.Wait()
+}
+
+// Close stops the pool goroutines. The pool must not be used afterwards.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.work {
+		close(ch)
+	}
+	p.work = nil
+}

@@ -32,6 +32,13 @@ type Options struct {
 	// forces the pure top-down baseline (used by the engine-mode
 	// benchmarks), DirPull forces bottom-up.
 	Direction bsp.Direction
+
+	// Delta overrides the delta-stepping bucket width of the weighted
+	// algorithms (WeightedCluster, the oracle's quotient APSP).
+	// Non-positive selects the engine's automatic choice, the mean edge
+	// weight. The final distances are identical for every delta; only the
+	// bucket/phase schedule — and with it the wall-clock — changes.
+	Delta int64
 }
 
 func (o Options) withDefaults() Options {

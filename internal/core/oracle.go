@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
+	"repro/internal/bsp"
 	"repro/internal/graph"
 	"repro/internal/quotient"
 )
@@ -22,6 +25,7 @@ type Oracle struct {
 	clustering *Clustering
 	apsp       [][]int64 // weighted quotient APSP; InfDist when unreachable
 	hops       [][]int64 // unweighted quotient APSP (certified lower bounds)
+	apspStats  bsp.Stats // aggregate cost of the quotient APSP build
 }
 
 // DefaultOracleTau returns the paper's suggested granularity for an
@@ -62,12 +66,17 @@ func BuildOracle(g *graph.Graph, tau int, useCluster2 bool, opt Options) (*Oracl
 	if err != nil {
 		return nil, err
 	}
-	return OracleFromClustering(cl)
+	return OracleFromClustering(cl, opt)
 }
 
 // OracleFromClustering builds the oracle tables from an existing
-// decomposition.
-func OracleFromClustering(cl *Clustering) (*Oracle, error) {
+// decomposition. The k per-cluster searches of the quotient APSP are
+// independent, so they fan out across opt.Workers goroutines, each running
+// its own delta-stepping engine for the weighted rows — source-level
+// parallelism on top of (and compounding with) the parallel relaxation
+// inside each search. The row contents are identical to the sequential
+// Dijkstra+BFS build for every worker count.
+func OracleFromClustering(cl *Clustering, opt Options) (*Oracle, error) {
 	k := cl.NumClusters()
 	if k > maxOracleClusters {
 		return nil, fmt.Errorf("core: %d clusters exceed the oracle cap %d; lower tau", k, maxOracleClusters)
@@ -76,22 +85,52 @@ func OracleFromClustering(cl *Clustering) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
+	workers := bsp.Workers(opt.Workers)
+	if workers > k {
+		workers = k
+	}
 	apsp := make([][]int64, k)
 	hops := make([][]int64, k)
-	for c := 0; c < k; c++ {
-		apsp[c] = wq.Dijkstra(graph.NodeID(c))
-		hop := q.BFS(graph.NodeID(c))
-		row := make([]int64, k)
-		for i, h := range hop {
-			if h < 0 {
-				row[i] = graph.InfDist
-			} else {
-				row[i] = int64(h)
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+		stats   bsp.Stats
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One sequential engine per goroutine: the parallelism budget
+			// is already spent on the source fan-out.
+			e := bsp.NewWeightedEngine(wq, 1, opt.Delta)
+			defer e.Close()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= k {
+					break
+				}
+				row := make([]int64, k)
+				e.SSSP(graph.NodeID(c), row)
+				apsp[c] = row
+				hop := q.BFS(graph.NodeID(c))
+				hrow := make([]int64, k)
+				for i, h := range hop {
+					if h < 0 {
+						hrow[i] = graph.InfDist
+					} else {
+						hrow[i] = int64(h)
+					}
+				}
+				hops[c] = hrow
 			}
-		}
-		hops[c] = row
+			statsMu.Lock()
+			stats.Add(e.Stats())
+			statsMu.Unlock()
+		}()
 	}
-	return &Oracle{clustering: cl, apsp: apsp, hops: hops}, nil
+	wg.Wait()
+	return &Oracle{clustering: cl, apsp: apsp, hops: hops, apspStats: stats}, nil
 }
 
 // OracleFromParts reassembles an oracle from its persisted parts: the
@@ -142,6 +181,11 @@ func (o *Oracle) Hops() [][]int64 { return o.hops }
 // NumClusters returns the size of the quotient graph (rows of the APSP
 // table).
 func (o *Oracle) NumClusters() int { return len(o.apsp) }
+
+// APSPStats returns the aggregate substrate cost of the quotient APSP
+// build (delta-stepping relaxations, buckets, phases summed over the k
+// per-cluster searches). Zero for oracles reassembled from snapshots.
+func (o *Oracle) APSPStats() bsp.Stats { return o.apspStats }
 
 // LowerQuery returns a certified lower bound on the distance between u and
 // v: the hop distance between their clusters in the quotient graph (every

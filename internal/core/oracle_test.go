@@ -120,8 +120,40 @@ func TestOracleCapEnforced(t *testing.T) {
 		cl.Owner[i] = graph.NodeID(i)
 		cl.Centers[i] = graph.NodeID(i)
 	}
-	if _, err := OracleFromClustering(cl); err == nil {
+	if _, err := OracleFromClustering(cl, Options{}); err == nil {
 		t.Fatal("oracle cap should reject huge quotient graphs")
+	}
+}
+
+func TestOracleFanOutMatchesSequentialBuild(t *testing.T) {
+	// The fan-out of the per-cluster APSP searches must not change a single
+	// table entry: every row is identical to the sequential Dijkstra+BFS
+	// build at every worker count.
+	g := graph.RoadLike(25, 25, 0.4, 13)
+	cl, err := Cluster(g, 2, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := OracleFromClustering(cl, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ref.NumClusters()
+	for _, workers := range []int{4, 8} {
+		o, err := OracleFromClustering(cl, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.APSPStats() != ref.APSPStats() {
+			t.Fatalf("workers=%d: APSP stats %+v diverge from %+v", workers, o.APSPStats(), ref.APSPStats())
+		}
+		for c := 0; c < k; c++ {
+			for d := 0; d < k; d++ {
+				if o.APSP()[c][d] != ref.APSP()[c][d] || o.Hops()[c][d] != ref.Hops()[c][d] {
+					t.Fatalf("workers=%d: table entry (%d,%d) diverged", workers, c, d)
+				}
+			}
+		}
 	}
 }
 

@@ -146,7 +146,7 @@ func TestPropertyWeightedClusterValid(t *testing.T) {
 		for i := range ws {
 			ws[i] = int32(1 + r.Intn(9))
 		}
-		wg := graph.NewWeighted(g.NumNodes(), edges, ws)
+		wg := graph.MustWeighted(g.NumNodes(), edges, ws)
 		wc, err := WeightedCluster(wg, 2, Options{Seed: seed})
 		if err != nil {
 			return false

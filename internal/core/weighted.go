@@ -15,14 +15,22 @@ import (
 // answer: a decomposition that, besides the number of clusters and their
 // weighted radius, also controls their *hop* radius, because the hop radius
 // is what governs the parallel depth of the computation. WeightedCluster
-// realizes that sketch with the same batch schedule as CLUSTER(τ): a new
-// batch of centers activates every time the uncovered set halves, all
-// clusters grow one hop per BSP round, and a node is claimed by the
-// incoming claim of smallest weighted distance within its round (ties by
-// cluster id, so the outcome is deterministic). The hop radius of every
-// cluster is bounded by the number of rounds its batch has been active, and
-// the weighted distance recorded for each node is the length of an actual
-// center-to-node path, hence a certified upper bound.
+// realizes that sketch with the same batch schedule as CLUSTER(τ) — a new
+// batch of centers activates every time the covered set halves the
+// remainder — but grows all active clusters concurrently on the
+// delta-stepping bsp.WeightedEngine: cluster growth is a multi-source
+// shortest-path computation, advanced one distance bucket at a time, with
+// contended nodes resolved by an atomic min-reduction on (weighted
+// distance, cluster id). A node counts as covered once the bucket holding
+// its final distance settles, which is when the batch schedule observes it.
+// After the last batch the growth drains to its fixpoint, so every covered
+// node ends at its exact weighted distance to the nearest activated center
+// (ties to the smaller cluster id) — the weighted Voronoi partition of the
+// selected centers — and the recorded distance is the length of an actual
+// center-to-node path, hence certified. The hop distances are recovered
+// from the shortest-path forest afterwards; every cluster's hop radius is
+// bounded by the number of relaxation phases (GrowthSteps), preserving the
+// parallel-depth control the Section 7 sketch asks for.
 
 // WeightedClustering is a partition of a weighted graph into disjoint,
 // internally connected clusters.
@@ -31,7 +39,8 @@ type WeightedClustering struct {
 	G *graph.Weighted
 	// Owner[u] is the cluster index of u.
 	Owner []graph.NodeID
-	// HopDist[u] is the round at which u was claimed (hop distance bound).
+	// HopDist[u] is the hop length of u's growth path: the fewest edges on
+	// a same-cluster path from the center realizing WDist[u].
 	HopDist []int32
 	// WDist[u] is the weighted length of the growth path from the center.
 	WDist []int64
@@ -41,9 +50,9 @@ type WeightedClustering struct {
 	WRadii []int64
 	// HopRadii[c] is the maximum HopDist within cluster c.
 	HopRadii []int32
-	// GrowthSteps is the number of BSP rounds (the parallel depth).
+	// GrowthSteps is the number of relaxation phases (the parallel depth).
 	GrowthSteps int
-	// Stats aggregates substrate costs.
+	// Stats aggregates substrate costs (relaxations, buckets, phases).
 	Stats bsp.Stats
 }
 
@@ -115,8 +124,11 @@ func (c *WeightedClustering) Validate() error {
 }
 
 // WeightedCluster decomposes the weighted graph wg into disjoint clusters
-// with the CLUSTER(τ) batch schedule, claiming contended nodes by minimum
-// weighted distance within each hop round.
+// with the CLUSTER(τ) batch schedule, growing all active clusters
+// concurrently via parallel delta-stepping; contended nodes resolve to the
+// minimum (weighted distance, cluster id) claim. The result is
+// deterministic for a given seed: identical centers, owners, and radii at
+// every worker count.
 func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedClustering, error) {
 	if tau < 1 {
 		return nil, errors.New("core: WeightedCluster requires tau >= 1")
@@ -126,114 +138,40 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 	if n == 0 {
 		return nil, errors.New("core: WeightedCluster on empty graph")
 	}
-	workers := bsp.Workers(opt.Workers)
 	seed := rng.Mix64(opt.Seed, 0x3e19_77ed, uint64(tau))
 
-	owner := make([]graph.NodeID, n)
-	hop := make([]int32, n)
-	wdist := make([]int64, n)
-	for i := range owner {
-		owner[i] = -1
-	}
+	e := bsp.NewWeightedEngine(wg, opt.Workers, opt.Delta)
+	defer e.Close()
+	e.GrowInit()
+
 	var centers []graph.NodeID
-	var frontier []graph.NodeID
-	covered := 0
-	steps := 0
-	var stats bsp.Stats
-
 	addCenter := func(u graph.NodeID) {
-		id := graph.NodeID(len(centers))
+		e.AddSource(u, graph.NodeID(len(centers)))
 		centers = append(centers, u)
-		owner[u] = id
-		hop[u] = 0
-		wdist[u] = 0
-		frontier = append(frontier, u)
-		covered++
 	}
 
-	type claim struct {
-		node  graph.NodeID
-		owner graph.NodeID
-		wd    int64
-		hop   int32
-	}
-	claimBufs := make([][]claim, workers)
-
-	// step advances all clusters one hop: workers gather candidate claims,
-	// then a deterministic sequential merge keeps the (minimum weighted
-	// distance, minimum cluster id) claim per node.
-	step := func() int {
-		if len(frontier) == 0 {
-			return 0
-		}
-		if len(frontier) > stats.MaxFrontier {
-			stats.MaxFrontier = len(frontier)
-		}
-		bsp.ParallelFor(workers, len(frontier), func(w, lo, hi int) {
-			buf := claimBufs[w][:0]
-			for _, u := range frontier[lo:hi] {
-				nbrs, ws := wg.Neighbors(u)
-				nh := hop[u] + 1
-				for i, v := range nbrs {
-					if owner[v] == -1 {
-						buf = append(buf, claim{v, owner[u], wdist[u] + int64(ws[i]), nh})
-					}
-				}
-			}
-			claimBufs[w] = buf
-		})
-		var arcs int64
-		for _, u := range frontier {
-			arcs += int64(wg.Degree(u))
-		}
-		// Deterministic resolution: smallest (wd, owner) claim wins.
-		all := claimBufs[0]
-		for w := 1; w < workers; w++ {
-			all = append(all, claimBufs[w]...)
-		}
-		sort.Slice(all, func(i, j int) bool {
-			if all[i].node != all[j].node {
-				return all[i].node < all[j].node
-			}
-			if all[i].wd != all[j].wd {
-				return all[i].wd < all[j].wd
-			}
-			return all[i].owner < all[j].owner
-		})
-		frontier = frontier[:0]
-		for i, c := range all {
-			if i > 0 && c.node == all[i-1].node {
-				continue
-			}
-			owner[c.node] = c.owner
-			hop[c.node] = c.hop
-			wdist[c.node] = c.wd
-			frontier = append(frontier, c.node)
-		}
-		claimBufs[0] = all[:0] // reuse the merged buffer next round
-		covered += len(frontier)
-		stats.Rounds++
-		stats.Messages += arcs
-		steps++
-		return len(frontier)
-	}
-
+	// Batch schedule: like CLUSTER(τ), a new center batch activates every
+	// time the covered set halves the remainder. Coverage is settled
+	// coverage — tentative claims sitting in unprocessed buckets do not
+	// count, and such nodes remain eligible as centers (a fresh center's
+	// distance-zero claim overrides any tentative one).
 	logn := log2n(n)
 	threshold := opt.ThresholdFactor * float64(tau) * logn
 	batch := 0
-	for float64(n-covered) >= threshold {
-		uncovered := n - covered
+	for float64(n-e.SettledCount()) >= threshold {
+		uncovered := n - e.SettledCount()
 		p := opt.CenterFactor * float64(tau) * logn / float64(uncovered)
 		selected := 0
 		for u := 0; u < n; u++ {
-			if owner[u] == -1 && rng.Coin(p, seed, uint64(batch), uint64(u)) {
+			if !e.Settled(graph.NodeID(u)) && rng.Coin(p, seed, uint64(batch), uint64(u)) {
 				addCenter(graph.NodeID(u))
 				selected++
 			}
 		}
-		if selected == 0 && len(frontier) == 0 {
+		if selected == 0 && !e.HasPending() {
+			// Nothing active can make progress: force one center.
 			for u := 0; u < n; u++ {
-				if owner[u] == -1 {
+				if !e.Settled(graph.NodeID(u)) {
 					addCenter(graph.NodeID(u))
 					selected++
 					break
@@ -242,21 +180,44 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 		}
 		batch++
 		target := (uncovered + 1) / 2
-		got := selected // fresh centers cover themselves
-		for got < target {
-			c := step()
-			if c == 0 {
+		base := e.SettledCount() - selected // fresh centers cover themselves
+		for e.SettledCount()-base < target {
+			ok, err := e.ProcessBucket()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
 				break
 			}
-			got += c
+		}
+	}
+	// Drain: let the active clusters grow to their Voronoi fixpoint, so
+	// every reachable node's distance is exact and every claim chain is
+	// consistent. Whatever remains (other components) becomes singletons.
+	for {
+		ok, err := e.ProcessBucket()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
 		}
 	}
 	for u := 0; u < n; u++ {
-		if owner[u] == -1 {
+		if !e.Settled(graph.NodeID(u)) {
 			addCenter(graph.NodeID(u))
 		}
 	}
 
+	owner := make([]graph.NodeID, n)
+	wdist := make([]int64, n)
+	e.Extract(wdist, owner)
+	hop, err := hopDistances(wg, owner, wdist, centers)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := e.Stats()
 	wc := &WeightedClustering{
 		G:           wg,
 		Owner:       owner,
@@ -265,7 +226,7 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 		Centers:     centers,
 		WRadii:      make([]int64, len(centers)),
 		HopRadii:    make([]int32, len(centers)),
-		GrowthSteps: steps,
+		GrowthSteps: stats.Rounds,
 		Stats:       stats,
 	}
 	for u := 0; u < n; u++ {
@@ -278,6 +239,47 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 		}
 	}
 	return wc, nil
+}
+
+// hopDistances recovers per-node hop distances along the shortest-path
+// forest of a settled growth: scanning nodes by increasing weighted
+// distance, every non-center node takes 1 + the minimum hop among its
+// consistent predecessors (same owner, WDist[pred] + w == WDist[node]).
+// Such a predecessor always exists — every winning claim is a relaxation
+// of a predecessor's final distance — so a miss is an internal error.
+func hopDistances(wg *graph.Weighted, owner []graph.NodeID, wdist []int64, centers []graph.NodeID) ([]int32, error) {
+	n := wg.NumNodes()
+	hop := make([]int32, n)
+	order := make([]graph.NodeID, n)
+	for i := range order {
+		order[i] = graph.NodeID(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if wdist[order[i]] != wdist[order[j]] {
+			return wdist[order[i]] < wdist[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	for _, u := range order {
+		if centers[owner[u]] == u {
+			hop[u] = 0
+			continue
+		}
+		nbrs, ws := wg.Neighbors(u)
+		best := int32(-1)
+		for i, v := range nbrs {
+			if owner[v] == owner[u] && wdist[v]+int64(ws[i]) == wdist[u] {
+				if h := hop[v] + 1; best < 0 || h < best {
+					best = h
+				}
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: node %d has no growth predecessor (internal error)", u)
+		}
+		hop[u] = best
+	}
+	return hop, nil
 }
 
 // WeightedDiameterResult carries the weighted diameter bounds.
@@ -298,7 +300,9 @@ type WeightedDiameterResult struct {
 
 // ApproxDiameterWeighted estimates the weighted diameter of a connected
 // weighted graph through a WeightedCluster decomposition and its quotient,
-// extending the Section 4 pipeline to weighted graphs.
+// extending the Section 4 pipeline to weighted graphs. Both stages — the
+// multi-source growth and the quotient's iFUB Dijkstra replacement — run
+// on the parallel delta-stepping engine.
 func ApproxDiameterWeighted(wg *graph.Weighted, tau int, opt Options) (*WeightedDiameterResult, error) {
 	if tau <= 0 {
 		tau = defaultDiameterTau(wg.NumNodes())
@@ -338,7 +342,10 @@ func ApproxDiameterWeighted(wg *graph.Weighted, tau int, opt Options) (*Weighted
 		}
 		weights = append(weights, int32(w))
 	}
-	q := graph.NewWeighted(k, edges, weights)
+	q, err := graph.NewWeighted(k, edges, weights)
+	if err != nil {
+		return nil, err
+	}
 	diamQ, exact := q.ExactDiameterWeighted(0)
 	return &WeightedDiameterResult{
 		Clustering: wc,

@@ -15,7 +15,7 @@ func randomWeighted(t *testing.T, g *graph.Graph, seed uint64, maxW int) *graph.
 	for i := range ws {
 		ws[i] = int32(1 + r.Intn(maxW))
 	}
-	return graph.NewWeighted(g.NumNodes(), edges, ws)
+	return graph.MustWeighted(g.NumNodes(), edges, ws)
 }
 
 func TestWeightedClusterPartitionValid(t *testing.T) {
@@ -40,7 +40,7 @@ func TestWeightedClusterErrors(t *testing.T) {
 	if _, err := WeightedCluster(wg, 0, Options{}); err == nil {
 		t.Fatal("tau=0 should fail")
 	}
-	if _, err := WeightedCluster(graph.NewWeighted(0, nil, nil), 1, Options{}); err == nil {
+	if _, err := WeightedCluster(graph.MustWeighted(0, nil, nil), 1, Options{}); err == nil {
 		t.Fatal("empty graph should fail")
 	}
 }
@@ -87,7 +87,7 @@ func TestWeightedClusterUnitWeightsMatchShape(t *testing.T) {
 	for i := range ws {
 		ws[i] = 1
 	}
-	wg := graph.NewWeighted(g.NumNodes(), edges, ws)
+	wg := graph.MustWeighted(g.NumNodes(), edges, ws)
 	wc, err := WeightedCluster(wg, 4, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -99,22 +99,86 @@ func TestWeightedClusterUnitWeightsMatchShape(t *testing.T) {
 }
 
 func TestWeightedClusterDeterministic(t *testing.T) {
-	g := graph.Mesh(20, 20)
-	wg := randomWeighted(t, g, 13, 6)
-	a, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: 1})
+	// The delta-stepping growth must be bit-for-bit identical across worker
+	// counts: same centers, same owners, same distances, same radii.
+	for name, g := range map[string]*graph.Graph{
+		"mesh":   graph.Mesh(20, 20),
+		"social": graph.BarabasiAlbert(1200, 4, 17),
+	} {
+		wg := randomWeighted(t, g, 13, 6)
+		a, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 8} {
+			b, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.NumClusters() != b.NumClusters() {
+				t.Fatalf("%s: %d workers changed the cluster count %d -> %d",
+					name, workers, a.NumClusters(), b.NumClusters())
+			}
+			for c := range a.Centers {
+				if a.Centers[c] != b.Centers[c] || a.WRadii[c] != b.WRadii[c] || a.HopRadii[c] != b.HopRadii[c] {
+					t.Fatalf("%s: cluster %d diverged at %d workers", name, c, workers)
+				}
+			}
+			for u := range a.Owner {
+				if a.Owner[u] != b.Owner[u] || a.WDist[u] != b.WDist[u] || a.HopDist[u] != b.HopDist[u] {
+					t.Fatalf("%s: node %d diverged at %d workers (claims are min-reduced deterministically)",
+						name, u, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedClusterDeltaSweep(t *testing.T) {
+	// The bucket width is a pure scheduling knob: any delta must yield a
+	// valid partition, and the distances are exact (Voronoi) for each, so
+	// per-node WDist agrees across deltas whenever the owner agrees.
+	g := graph.RoadLike(20, 20, 0.4, 3)
+	wg := randomWeighted(t, g, 21, 8)
+	for _, delta := range []int64{1, 2, 16, 1 << 40} {
+		wc, err := WeightedCluster(wg, 4, Options{Seed: 8, Delta: delta, Workers: 4})
+		if err != nil {
+			t.Fatalf("delta=%d: %v", delta, err)
+		}
+		if err := wc.Validate(); err != nil {
+			t.Fatalf("delta=%d: %v", delta, err)
+		}
+		if wc.Stats.Relaxations == 0 || wc.Stats.Buckets == 0 {
+			t.Fatalf("delta=%d: missing weighted cost counters %+v", delta, wc.Stats)
+		}
+	}
+}
+
+func TestWeightedClusterWDistIsExactVoronoi(t *testing.T) {
+	// After the drain, every node's WDist is its true shortest distance to
+	// the center that owns it, and no other center is strictly closer.
+	g := graph.Mesh(18, 18)
+	wg := randomWeighted(t, g, 23, 7)
+	wc, err := WeightedCluster(wg, 4, Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := WeightedCluster(wg, 4, Options{Seed: 5, Workers: 4})
-	if err != nil {
-		t.Fatal(err)
+	n := wg.NumNodes()
+	best := make([]int64, n)
+	for i := range best {
+		best[i] = graph.InfDist
 	}
-	if a.NumClusters() != b.NumClusters() {
-		t.Fatal("worker count changed the clustering")
+	for _, center := range wc.Centers {
+		dist := wg.Dijkstra(center)
+		for u := 0; u < n; u++ {
+			if dist[u] < best[u] {
+				best[u] = dist[u]
+			}
+		}
 	}
-	for u := range a.Owner {
-		if a.Owner[u] != b.Owner[u] || a.WDist[u] != b.WDist[u] {
-			t.Fatalf("diverged at node %d (claims are resolved deterministically)", u)
+	for u := 0; u < n; u++ {
+		if wc.WDist[u] != best[u] {
+			t.Fatalf("node %d: WDist %d, nearest activated center at %d", u, wc.WDist[u], best[u])
 		}
 	}
 }
@@ -153,7 +217,7 @@ func TestApproxDiameterWeightedUnitMatchesUnweightedPipeline(t *testing.T) {
 	for i := range ws {
 		ws[i] = 1
 	}
-	wg := graph.NewWeighted(g.NumNodes(), edges, ws)
+	wg := graph.MustWeighted(g.NumNodes(), edges, ws)
 	res, err := ApproxDiameterWeighted(wg, 4, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)

@@ -26,7 +26,7 @@ type MRReport struct {
 	SpannerEdges   int // after sparsification (0 if not needed)
 	SquaringRounds int
 	DiameterMR     int64 // weighted quotient diameter via repeated squaring
-	DiameterRef    int64 // same, via Dijkstra (reference)
+	DiameterRef    int64 // same, via the delta-stepping iFUB (reference)
 }
 
 // MRModel runs the end-to-end MR pipeline on a mesh dataset scaled by cfg.
@@ -90,7 +90,7 @@ func MRModel(cfg Config) (*MRReport, error) {
 	ref, _ := wqForDiam.ExactDiameterWeighted(0)
 	report.DiameterRef = ref
 	if diamMR != ref {
-		return nil, fmt.Errorf("expt: MR diameter %d disagrees with Dijkstra %d", diamMR, ref)
+		return nil, fmt.Errorf("expt: MR diameter %d disagrees with reference %d", diamMR, ref)
 	}
 	return report, nil
 }

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"container/heap"
+	"fmt"
 	"sort"
 )
 
@@ -17,18 +18,22 @@ type Weighted struct {
 
 // NewWeighted builds a weighted graph with n nodes from parallel edge and
 // weight lists. Duplicate edges keep the minimum weight; self-loops are
-// dropped. Weights must be positive.
-func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
+// dropped. It rejects mismatched edge/weight lists, out-of-range endpoints,
+// and non-positive weights (the weighted algorithms all assume w >= 1).
+func NewWeighted(n int, edges [][2]NodeID, weights []int32) (*Weighted, error) {
 	if len(edges) != len(weights) {
-		panic("graph: edges/weights length mismatch")
+		return nil, fmt.Errorf("graph: NewWeighted: %d edges with %d weights", len(edges), len(weights))
 	}
 	min := make(map[uint64]int32, len(edges))
 	for i, e := range edges {
+		if e[0] < 0 || int(e[0]) >= n || e[1] < 0 || int(e[1]) >= n {
+			return nil, fmt.Errorf("graph: NewWeighted: edge (%d,%d) out of range for %d nodes", e[0], e[1], n)
+		}
 		if e[0] == e[1] {
 			continue
 		}
 		if weights[i] <= 0 {
-			panic("graph: non-positive edge weight")
+			return nil, fmt.Errorf("graph: NewWeighted: non-positive weight %d on edge (%d,%d)", weights[i], e[0], e[1])
 		}
 		key := packPair(e[0], e[1])
 		if cur, ok := min[key]; !ok || weights[i] < cur {
@@ -70,6 +75,16 @@ func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
 		cursor[u]++
 		wg.adj[cursor[v]], wg.w[cursor[v]] = u, wt
 		cursor[v]++
+	}
+	return wg, nil
+}
+
+// MustWeighted is NewWeighted for inputs known to be valid (fixtures,
+// generated weight lists); it panics on error.
+func MustWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
+	wg, err := NewWeighted(n, edges, weights)
+	if err != nil {
+		panic(err)
 	}
 	return wg
 }
@@ -135,7 +150,10 @@ func (h *distHeap) Pop() interface{} {
 }
 
 // Dijkstra computes single-source shortest path distances from src.
-// Unreachable nodes get InfDist.
+// Unreachable nodes get InfDist. It is the sequential binary-heap reference
+// implementation: the hot paths (weighted iFUB, quotient APSP, weighted
+// cluster growth) run the parallel delta-stepping bsp.WeightedEngine, whose
+// distances are tested to match this one bit for bit.
 func (g *Weighted) Dijkstra(src NodeID) []int64 {
 	dist := make([]int64, g.NumNodes())
 	for i := range dist {

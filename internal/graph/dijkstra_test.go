@@ -13,7 +13,7 @@ func unitWeighted(g *Graph) *Weighted {
 	for i := range w {
 		w[i] = 1
 	}
-	return NewWeighted(g.NumNodes(), edges, w)
+	return MustWeighted(g.NumNodes(), edges, w)
 }
 
 func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
@@ -37,7 +37,7 @@ func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
 
 func TestDijkstraWeightedPath(t *testing.T) {
 	// 0 -5- 1 -2- 2 -7- 3
-	wg := NewWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
+	wg := MustWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
 	dist := wg.Dijkstra(0)
 	want := []int64{0, 5, 7, 14}
 	for u, d := range want {
@@ -49,7 +49,7 @@ func TestDijkstraWeightedPath(t *testing.T) {
 
 func TestDijkstraPrefersLightPath(t *testing.T) {
 	// Direct heavy edge 0-2 (10) vs light detour 0-1-2 (2+3).
-	wg := NewWeighted(3, [][2]NodeID{{0, 2}, {0, 1}, {1, 2}}, []int32{10, 2, 3})
+	wg := MustWeighted(3, [][2]NodeID{{0, 2}, {0, 1}, {1, 2}}, []int32{10, 2, 3})
 	dist := wg.Dijkstra(0)
 	if dist[2] != 5 {
 		t.Fatalf("dist[2]=%d want 5", dist[2])
@@ -57,7 +57,7 @@ func TestDijkstraPrefersLightPath(t *testing.T) {
 }
 
 func TestDijkstraUnreachable(t *testing.T) {
-	wg := NewWeighted(3, [][2]NodeID{{0, 1}}, []int32{4})
+	wg := MustWeighted(3, [][2]NodeID{{0, 1}}, []int32{4})
 	dist := wg.Dijkstra(0)
 	if dist[2] != InfDist {
 		t.Fatalf("unreachable node should be InfDist, got %d", dist[2])
@@ -65,12 +65,30 @@ func TestDijkstraUnreachable(t *testing.T) {
 }
 
 func TestNewWeightedKeepsMinimumDuplicate(t *testing.T) {
-	wg := NewWeighted(2, [][2]NodeID{{0, 1}, {1, 0}, {0, 1}}, []int32{9, 4, 6})
+	wg := MustWeighted(2, [][2]NodeID{{0, 1}, {1, 0}, {0, 1}}, []int32{9, 4, 6})
 	if wg.NumEdges() != 1 {
 		t.Fatalf("m=%d want 1", wg.NumEdges())
 	}
 	if d := wg.Dijkstra(0)[1]; d != 4 {
 		t.Fatalf("kept weight %d want 4", d)
+	}
+}
+
+func TestNewWeightedRejectsBadInput(t *testing.T) {
+	if _, err := NewWeighted(3, [][2]NodeID{{0, 1}}, nil); err == nil {
+		t.Fatal("edge/weight length mismatch should fail")
+	}
+	if _, err := NewWeighted(3, [][2]NodeID{{0, 1}}, []int32{0}); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	if _, err := NewWeighted(3, [][2]NodeID{{0, 1}}, []int32{-4}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := NewWeighted(3, [][2]NodeID{{0, 3}}, []int32{1}); err == nil {
+		t.Fatal("out-of-range endpoint should fail")
+	}
+	if wg, err := NewWeighted(0, nil, nil); err != nil || wg.NumNodes() != 0 {
+		t.Fatalf("empty graph should build: %v", err)
 	}
 }
 
@@ -95,7 +113,7 @@ func TestExactDiameterWeightedMatchesExhaustive(t *testing.T) {
 		for i := range w {
 			w[i] = int32(1 + r.Intn(9))
 		}
-		wg := NewWeighted(g.NumNodes(), edges, w)
+		wg := MustWeighted(g.NumNodes(), edges, w)
 		want := wg.DiameterExhaustiveWeighted()
 		got, exact := wg.ExactDiameterWeighted(0)
 		if !exact || got != want {
@@ -115,7 +133,7 @@ func TestExactDiameterWeightedUnitMatchesUnweighted(t *testing.T) {
 }
 
 func TestWeightedEccentricity(t *testing.T) {
-	wg := NewWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
+	wg := MustWeighted(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}}, []int32{5, 2, 7})
 	if e := wg.WeightedEccentricity(0); e != 14 {
 		t.Fatalf("ecc=%d want 14", e)
 	}

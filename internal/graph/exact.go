@@ -17,9 +17,11 @@ import (
 // Each BFS runs on one shared direction-optimizing bsp.Engine (persistent
 // worker pool, push/pull switching), which matters because the repeated
 // full BFS here is the dominant cost of exact ground truth. The weighted
-// analogue (Dijkstra in place of BFS, used for weighted quotient graphs)
-// keeps its sequential searches: Dijkstra's priority order does not map
-// onto unit-step frontier supersteps.
+// analogue (ExactDiameterWeighted, used for weighted quotient graphs) rides
+// the engine layer too: Dijkstra's strict priority order does not map onto
+// unit-step frontier supersteps, but delta-stepping's bucketed relaxation
+// schedule does, so its searches run on one shared bsp.WeightedEngine and
+// only graph.Dijkstra remains as the sequential reference.
 
 // engineBFSInto runs one BFS from src on the shared engine, filling dist
 // (which must be pre-filled with -1) and returning the eccentricity of src
@@ -254,8 +256,10 @@ func argMax64(dist []int64) NodeID {
 }
 
 // ExactDiameterWeighted computes the exact weighted diameter of a connected
-// weighted graph via the iFUB scheme with Dijkstra searches. maxSearches
-// bounds the number of Dijkstra runs (0 = unlimited); if exhausted, the
+// weighted graph via the iFUB scheme with shortest-path searches. Every
+// search runs on one shared delta-stepping bsp.WeightedEngine (parallel
+// bucketed relaxations, distances identical to Dijkstra's). maxSearches
+// bounds the number of searches (0 = unlimited); if exhausted, the
 // returned value is a lower bound and exact is false. Disconnected graphs
 // return the max over components (unreachable pairs are ignored).
 func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact bool) {
@@ -263,6 +267,8 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	if n == 0 {
 		return 0, true
 	}
+	e := bsp.NewWeightedEngine(g, 0, 0)
+	defer e.Close()
 	budget := maxSearches
 	spend := func() bool {
 		if maxSearches == 0 {
@@ -275,11 +281,6 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 		return true
 	}
 	dist := make([]int64, n)
-	reset := func() {
-		for i := range dist {
-			dist[i] = InfDist
-		}
-	}
 	argMax := func() NodeID {
 		best, arg := int64(-1), NodeID(0)
 		for u, d := range dist {
@@ -300,17 +301,13 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	if !spend() {
 		return 0, false
 	}
-	reset()
-	g.DijkstraInto(start, dist)
+	e.SSSP(start, dist)
 	a := argMax()
 	if !spend() {
 		return 0, false
 	}
 	distA := make([]int64, n)
-	for i := range distA {
-		distA[i] = InfDist
-	}
-	lower := g.DijkstraInto(a, distA)
+	lower := e.SSSP(a, distA)
 	b := argMax64(distA)
 
 	// First midpoint: walk back from b toward a along the shortest path.
@@ -333,31 +330,24 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	if !spend() {
 		return lower, false
 	}
-	reset()
-	if e := g.DijkstraInto(r1, dist); e > lower {
-		lower = e
+	if ecc := e.SSSP(r1, dist); ecc > lower {
+		lower = ecc
 	}
 	c := argMax()
 	if !spend() {
 		return lower, false
 	}
 	distC := make([]int64, n)
-	for i := range distC {
-		distC[i] = InfDist
-	}
-	if e := g.DijkstraInto(c, distC); e > lower {
-		lower = e
+	if ecc := e.SSSP(c, distC); ecc > lower {
+		lower = ecc
 	}
 
 	if !spend() {
 		return lower, false
 	}
 	distB := make([]int64, n)
-	for i := range distB {
-		distB[i] = InfDist
-	}
-	if e := g.DijkstraInto(b, distB); e > lower {
-		lower = e
+	if ecc := e.SSSP(b, distB); ecc > lower {
+		lower = ecc
 	}
 
 	r := NodeID(0)
@@ -382,9 +372,8 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	if !spend() {
 		return lower, false
 	}
-	reset()
-	if e := g.DijkstraInto(r, dist); e > lower {
-		lower = e
+	if ecc := e.SSSP(r, dist); ecc > lower {
+		lower = ecc
 	}
 	distR := make([]int64, n)
 	copy(distR, dist)
@@ -405,9 +394,8 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 			if !spend() {
 				return lower, false
 			}
-			reset()
-			if e := g.DijkstraInto(u, dist); e > lower {
-				lower = e
+			if ecc := e.SSSP(u, dist); ecc > lower {
+				lower = ecc
 			}
 			continue
 		}
@@ -420,9 +408,8 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 			if !spend() {
 				return lower, false
 			}
-			reset()
-			if e := g.DijkstraInto(u, dist); e > lower {
-				lower = e
+			if ecc := e.SSSP(u, dist); ecc > lower {
+				lower = ecc
 				if 2*level <= lower {
 					return lower, true
 				}

@@ -101,7 +101,7 @@ func TestAPSPMatchesDijkstra(t *testing.T) {
 	for i := range weights {
 		weights[i] = int32(1 + r.Intn(7))
 	}
-	w := graph.NewWeighted(g.NumNodes(), edges, weights)
+	w := graph.MustWeighted(g.NumNodes(), edges, weights)
 	e := NewEngine(Config{})
 	mat, err := e.APSPByRepeatedSquaring(w)
 	if err != nil {
@@ -133,7 +133,7 @@ func TestDiameterByRepeatedSquaring(t *testing.T) {
 	for i := range weights {
 		weights[i] = 1
 	}
-	w := graph.NewWeighted(g.NumNodes(), edges, weights)
+	w := graph.MustWeighted(g.NumNodes(), edges, weights)
 	e := NewEngine(Config{})
 	d, err := e.DiameterByRepeatedSquaring(w)
 	if err != nil {

@@ -79,7 +79,11 @@ func BuildWeighted(g *graph.Graph, owner []graph.NodeID, dist []int32, k int) (*
 		weights = append(weights, w)
 		ub.AddEdge(cu, cv)
 	}
-	return ub.Build(), graph.NewWeighted(k, edges, weights), nil
+	wq, err := graph.NewWeighted(k, edges, weights)
+	if err != nil {
+		return nil, nil, fmt.Errorf("quotient: %w", err)
+	}
+	return ub.Build(), wq, nil
 }
 
 func pairKey(a, b graph.NodeID) uint64 {

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bsp"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/snapshot"
@@ -85,7 +86,9 @@ var ErrCacheFull = errors.New("serve: artifact cache full of in-flight builds")
 // decomposition behind a cached artifact spent, in the paper's own cost
 // units (BSP rounds and arcs-scanned messages) plus wall-clock. PullRounds
 // says how many supersteps the direction-optimizing engine ran bottom-up —
-// the serving-layer view of the hybrid traversal win.
+// the serving-layer view of the hybrid traversal win. Relaxations and
+// Buckets are the delta-stepping counters: the weighted counterpart of
+// Messages/Rounds, zero for purely unweighted builds.
 type ArtifactCost struct {
 	Key         string  `json:"key"`
 	Source      string  `json:"source"` // "build" or "snapshot"
@@ -94,6 +97,8 @@ type ArtifactCost struct {
 	PullRounds  int     `json:"bsp_pull_rounds"`
 	Messages    int64   `json:"bsp_messages"`
 	MaxFrontier int     `json:"max_frontier"`
+	Relaxations int64   `json:"bsp_relaxations"`
+	Buckets     int     `json:"bsp_buckets"`
 }
 
 // entry is a cache slot. ready is closed when val/err are set; concurrent
@@ -195,7 +200,7 @@ func (s *Server) InstallSnapshot(a *snapshot.Artifact) error {
 	}
 	key := Key{Graph: name, Kind: "oracle", Tau: a.Meta.Tau, Seed: a.Meta.Seed, Algorithm: algo}
 	e := &entry{ready: make(chan struct{}), val: a.Oracle}
-	e.cost = costFor(key, "snapshot", 0, a.Oracle.Clustering())
+	e.cost = costFor(key, "snapshot", 0, artifactStats(a.Oracle))
 	e.lastUsed.Store(s.clock.Add(1))
 	close(e.ready)
 	s.mu.Lock()
@@ -318,32 +323,39 @@ func (s *Server) evictLRULocked() bool {
 	return found
 }
 
-// artifactClustering digs the decomposition out of a cached artifact, for
-// build-cost reporting. Unknown artifact kinds report nil (no cost line).
-func artifactClustering(val any) *core.Clustering {
+// artifactStats digs the substrate cost out of a cached artifact, for
+// build-cost reporting: the decomposition's traversal stats, plus — for
+// oracles — the delta-stepping cost of the quotient APSP build, so the
+// weighted work is reported as honestly as the unweighted rounds. Unknown
+// artifact kinds report nil (no cost line).
+func artifactStats(val any) *bsp.Stats {
 	switch v := val.(type) {
 	case *core.Oracle:
-		return v.Clustering()
+		st := v.Clustering().Stats
+		st.Add(v.APSPStats())
+		return &st
 	case *core.DiameterResult:
-		return v.Clustering
+		return &v.Clustering.Stats
 	case *core.KCenterResult:
-		return v.Clustering
+		return &v.Clustering.Stats
 	}
 	return nil
 }
 
-func costFor(key Key, source string, millis float64, cl *core.Clustering) *ArtifactCost {
-	if cl == nil {
+func costFor(key Key, source string, millis float64, st *bsp.Stats) *ArtifactCost {
+	if st == nil {
 		return nil
 	}
 	return &ArtifactCost{
 		Key:         key.String(),
 		Source:      source,
 		BuildMillis: millis,
-		Rounds:      cl.Stats.Rounds,
-		PullRounds:  cl.Stats.PullRounds,
-		Messages:    cl.Stats.Messages,
-		MaxFrontier: cl.Stats.MaxFrontier,
+		Rounds:      st.Rounds,
+		PullRounds:  st.PullRounds,
+		Messages:    st.Messages,
+		MaxFrontier: st.MaxFrontier,
+		Relaxations: st.Relaxations,
+		Buckets:     st.Buckets,
 	}
 }
 
@@ -355,7 +367,7 @@ func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, er
 	elapsed := stop()
 	if e.err == nil {
 		millis := float64(elapsed.Nanoseconds()) / 1e6
-		e.cost = costFor(key, "build", millis, artifactClustering(e.val))
+		e.cost = costFor(key, "build", millis, artifactStats(e.val))
 	}
 	if e.err != nil {
 		s.mu.Lock()

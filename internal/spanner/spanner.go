@@ -32,7 +32,7 @@ func BaswanaSen(w *graph.Weighted, k int, seed uint64) (*graph.Weighted, error) 
 	}
 	n := w.NumNodes()
 	if n == 0 {
-		return graph.NewWeighted(0, nil, nil), nil
+		return graph.NewWeighted(0, nil, nil)
 	}
 	prob := math.Pow(float64(n), -1.0/float64(k))
 
@@ -177,7 +177,7 @@ func BaswanaSen(w *graph.Weighted, k int, seed uint64) (*graph.Weighted, error) 
 	// with k=1 every vertex is its own cluster, so phase 2 already added
 	// the lightest edge per neighbor pair, and all pairs are distinct
 	// clusters. Nothing further to do.
-	return graph.NewWeighted(n, spanEdges, spanWeights), nil
+	return graph.NewWeighted(n, spanEdges, spanWeights)
 }
 
 func clustersSorted(m map[graph.NodeID]edge) []edge {

@@ -14,7 +14,7 @@ func weightedFrom(g *graph.Graph, seed uint64, maxW int) *graph.Weighted {
 	for i := range ws {
 		ws[i] = int32(1 + r.Intn(maxW))
 	}
-	return graph.NewWeighted(g.NumNodes(), edges, ws)
+	return graph.MustWeighted(g.NumNodes(), edges, ws)
 }
 
 func checkStretch(t *testing.T, w, sp *graph.Weighted, k int, samples int) {
@@ -124,10 +124,10 @@ func TestBaswanaSenK1KeepsLightestPerPair(t *testing.T) {
 }
 
 func TestBaswanaSenErrorsAndEdgeCases(t *testing.T) {
-	if _, err := BaswanaSen(graph.NewWeighted(3, nil, nil), 0, 1); err == nil {
+	if _, err := BaswanaSen(graph.MustWeighted(3, nil, nil), 0, 1); err == nil {
 		t.Fatal("k=0 should fail")
 	}
-	sp, err := BaswanaSen(graph.NewWeighted(0, nil, nil), 2, 1)
+	sp, err := BaswanaSen(graph.MustWeighted(0, nil, nil), 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestBaswanaSenErrorsAndEdgeCases(t *testing.T) {
 		t.Fatal("empty graph spanner should be empty")
 	}
 	// Edgeless graph.
-	sp, err = BaswanaSen(graph.NewWeighted(5, nil, nil), 2, 1)
+	sp, err = BaswanaSen(graph.MustWeighted(5, nil, nil), 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -121,8 +121,10 @@ func ApproxDiameterWeighted(wg *Weighted, tau int, opt Options) (*WeightedDiamet
 	return core.ApproxDiameterWeighted(wg, tau, opt)
 }
 
-// NewWeighted builds a weighted graph from parallel edge/weight lists.
-func NewWeighted(n int, edges [][2]NodeID, weights []int32) *Weighted {
+// NewWeighted builds a weighted graph from parallel edge/weight lists,
+// rejecting mismatched lists, out-of-range endpoints, and non-positive
+// weights.
+func NewWeighted(n int, edges [][2]NodeID, weights []int32) (*Weighted, error) {
 	return graph.NewWeighted(n, edges, weights)
 }
 

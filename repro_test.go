@@ -146,7 +146,10 @@ func TestFacadeWeightedExtension(t *testing.T) {
 	for i := range ws {
 		ws[i] = int32(1 + i%5)
 	}
-	wg := repro.NewWeighted(g.NumNodes(), edges, ws)
+	wg, err := repro.NewWeighted(g.NumNodes(), edges, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wc, err := repro.WeightedCluster(wg, 4, repro.Options{Seed: 9})
 	if err != nil {
 		t.Fatal(err)
