@@ -25,6 +25,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/mpx"
+	"repro/internal/mr"
 	"repro/internal/pbfs"
 	"repro/internal/quotient"
 	"repro/internal/rng"
@@ -164,6 +165,57 @@ func BenchmarkMRGrowStep(b *testing.B) {
 		if _, err := expt.MRModel(expt.Config{Scale: 0.4, Seed: 7}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMRCluster sweeps the sharded MR runtime across reducer shard
+// counts on the full CLUSTER(τ) pipeline (selection rounds + growth
+// rounds). Results are bit-identical across shards — the sweep measures
+// pure runtime scaling — and pairs-shuffled/op reports the shuffle volume
+// the model charges, which the determinism guarantee keeps constant.
+func BenchmarkMRCluster(b *testing.B) {
+	g := graph.Mesh(60, 60)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			var shuffled int64
+			for i := 0; i < b.N; i++ {
+				e := mr.NewEngine(mr.Config{Shards: shards})
+				if _, _, err := e.Cluster(g, 16, 1); err != nil {
+					b.Fatal(err)
+				}
+				shuffled = e.TotalShuffled()
+				e.Close()
+			}
+			b.ReportMetric(float64(shuffled), "pairs-shuffled")
+		})
+	}
+}
+
+// BenchmarkMRSquaring sweeps shard counts on the Theorem 4 path: repeated
+// min-plus squaring of a weighted quotient-sized matrix, whose Θ(ℓ³)-pair
+// join rounds are the heaviest shuffles the engine runs.
+func BenchmarkMRSquaring(b *testing.B) {
+	g := graph.RoadLike(8, 8, 0.5, 4)
+	edges := g.EdgeList()
+	r := rng.New(9)
+	ws := make([]int32, len(edges))
+	for i := range ws {
+		ws[i] = int32(1 + r.Intn(50))
+	}
+	w := graph.MustWeighted(g.NumNodes(), edges, ws)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			var shuffled int64
+			for i := 0; i < b.N; i++ {
+				e := mr.NewEngine(mr.Config{Shards: shards})
+				if _, err := e.DiameterByRepeatedSquaring(w); err != nil {
+					b.Fatal(err)
+				}
+				shuffled = e.TotalShuffled()
+				e.Close()
+			}
+			b.ReportMetric(float64(shuffled), "pairs-shuffled")
+		})
 	}
 }
 

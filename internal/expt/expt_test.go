@@ -213,9 +213,52 @@ func TestMRModelReport(t *testing.T) {
 		t.Fatalf("growth used %d rounds for %d steps — not O(1) rounds/step",
 			rep.GrowRounds, rep.GrowSteps)
 	}
+	if rep.Shards < 1 {
+		t.Fatalf("report missing shard count: %d", rep.Shards)
+	}
+	if rep.GrowShuffled <= 0 || rep.SquaringShuffled <= 0 {
+		t.Fatalf("report missing shuffle volume: grow=%d squaring=%d",
+			rep.GrowShuffled, rep.SquaringShuffled)
+	}
+	if len(rep.GrowRoundStats) != rep.GrowRounds {
+		t.Fatalf("%d growth round stats for %d rounds", len(rep.GrowRoundStats), rep.GrowRounds)
+	}
+	if len(rep.SquaringRoundStats) != rep.SquaringRounds {
+		t.Fatalf("%d squaring round stats for %d rounds", len(rep.SquaringRoundStats), rep.SquaringRounds)
+	}
+	var sum int64
+	for _, rs := range rep.SquaringRoundStats {
+		sum += rs.PairsIn
+	}
+	if sum != rep.SquaringShuffled {
+		t.Fatalf("squaring round stats sum %d != total shuffled %d", sum, rep.SquaringShuffled)
+	}
 	text := FormatMRReport(rep)
 	if !strings.Contains(text, "repeated squaring") {
 		t.Fatal("report rendering incomplete")
+	}
+	if !strings.Contains(text, "pairs shuffled") {
+		t.Fatal("report rendering missing shuffle accounting")
+	}
+}
+
+// The MR pipeline report must be invariant under the Workers knob, which
+// now drives the engine's reducer shard count.
+func TestMRModelShardInvariant(t *testing.T) {
+	base, err := MRModel(Config{Scale: 0.3, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := MRModel(Config{Scale: 0.3, Seed: 7, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GrowRounds != wide.GrowRounds || base.GrowShuffled != wide.GrowShuffled ||
+		base.MaxReducerIn != wide.MaxReducerIn ||
+		base.SquaringRounds != wide.SquaringRounds ||
+		base.SquaringShuffled != wide.SquaringShuffled ||
+		base.DiameterMR != wide.DiameterMR {
+		t.Fatalf("MR accounting differs across worker counts:\n1: %+v\n8: %+v", base, wide)
 	}
 }
 

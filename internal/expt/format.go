@@ -134,15 +134,15 @@ func FormatFigure1(points []Figure1Point) string {
 func FormatMRReport(r *MRReport) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "MR(MG,ML) model validation (Lemma 3 / Theorem 4)\n")
-	fmt.Fprintf(&b, "  graph: n=%d m=%d\n", r.GraphNodes, r.GraphEdges)
-	fmt.Fprintf(&b, "  growth: %d steps in %d MR rounds (max reducer input %d)\n",
-		r.GrowSteps, r.GrowRounds, r.MaxReducerIn)
+	fmt.Fprintf(&b, "  graph: n=%d m=%d (%d reducer shards)\n", r.GraphNodes, r.GraphEdges, r.Shards)
+	fmt.Fprintf(&b, "  growth: %d steps in %d MR rounds (%d pairs shuffled, max reducer input %d)\n",
+		r.GrowSteps, r.GrowRounds, r.GrowShuffled, r.MaxReducerIn)
 	fmt.Fprintf(&b, "  quotient: nC=%d mC=%d", r.QuotientNodes, r.QuotientEdges)
 	if r.SpannerEdges > 0 {
 		fmt.Fprintf(&b, " (sparsified to %d edges)", r.SpannerEdges)
 	}
 	b.WriteByte('\n')
-	fmt.Fprintf(&b, "  quotient diameter by repeated squaring: %d in %d rounds (reference %d)\n",
-		r.DiameterMR, r.SquaringRounds, r.DiameterRef)
+	fmt.Fprintf(&b, "  quotient diameter by repeated squaring: %d in %d rounds (%d pairs shuffled, reference %d)\n",
+		r.DiameterMR, r.SquaringRounds, r.SquaringShuffled, r.DiameterRef)
 	return b.String()
 }

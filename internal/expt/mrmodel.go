@@ -16,17 +16,24 @@ import (
 // memory budget (Theorem 4, Fact 2 path), with Baswana–Sen sparsification
 // available when the quotient exceeds ML.
 type MRReport struct {
-	GraphNodes     int
-	GraphEdges     int
-	GrowSteps      int
-	GrowRounds     int
-	MaxReducerIn   int
-	QuotientNodes  int
-	QuotientEdges  int
-	SpannerEdges   int // after sparsification (0 if not needed)
-	SquaringRounds int
-	DiameterMR     int64 // weighted quotient diameter via repeated squaring
-	DiameterRef    int64 // same, via the delta-stepping iFUB (reference)
+	GraphNodes       int
+	GraphEdges       int
+	Shards           int // reducer shards both engines ran with
+	GrowSteps        int
+	GrowRounds       int
+	GrowShuffled     int64 // pairs moved across all growth rounds
+	MaxReducerIn     int
+	QuotientNodes    int
+	QuotientEdges    int
+	SpannerEdges     int // after sparsification (0 if not needed)
+	SquaringRounds   int
+	SquaringShuffled int64 // pairs moved across all squaring rounds
+	DiameterMR       int64 // weighted quotient diameter via repeated squaring
+	DiameterRef      int64 // same, via the delta-stepping iFUB (reference)
+	// GrowRoundStats and SquaringRoundStats are the engines' per-round
+	// execution profiles (pairs in/out, shards, wall-clock).
+	GrowRoundStats     []mr.RoundStat
+	SquaringRoundStats []mr.RoundStat
 }
 
 // MRModel runs the end-to-end MR pipeline on a mesh dataset scaled by cfg.
@@ -56,17 +63,22 @@ func MRModel(cfg Config) (*MRReport, error) {
 	}
 
 	// Lemma 3 validation: run multi-source growth from the same centers on
-	// the MR engine, one round per step.
+	// the MR engine, one round per step. The engine shards its reducers
+	// Workers-wide; outputs and round counts are shard-count invariant.
 	ml := int64(g.NumNodes()) // ML = Θ(n^ε) stand-in large enough for groups
-	eng := mr.NewEngine(mr.Config{ML: ml})
+	eng := mr.NewEngine(mr.Config{ML: ml, Shards: cfg.Workers})
+	defer eng.Close()
 	state := mr.NewGrowState(g.NumNodes(), cl.Centers)
 	steps, err := eng.Grow(g, state)
 	if err != nil {
 		return nil, err
 	}
+	report.Shards = eng.Shards()
 	report.GrowSteps = steps
 	report.GrowRounds = eng.Rounds()
+	report.GrowShuffled = eng.TotalShuffled()
 	report.MaxReducerIn = eng.MaxReducerInput()
+	report.GrowRoundStats = eng.RoundStats()
 
 	// Theorem 4: if the quotient exceeds the (illustrative) local memory,
 	// sparsify it with a 3-spanner first.
@@ -80,14 +92,22 @@ func MRModel(cfg Config) (*MRReport, error) {
 		wqForDiam = sp
 	}
 
-	eng2 := mr.NewEngine(mr.Config{})
+	eng2 := mr.NewEngine(mr.Config{Shards: cfg.Workers})
+	defer eng2.Close()
 	diamMR, err := eng2.DiameterByRepeatedSquaring(wqForDiam)
 	if err != nil {
 		return nil, err
 	}
 	report.SquaringRounds = eng2.Rounds()
+	report.SquaringShuffled = eng2.TotalShuffled()
+	report.SquaringRoundStats = eng2.RoundStats()
 	report.DiameterMR = diamMR
-	ref, _ := wqForDiam.ExactDiameterWeighted(0)
+	ref, exact := wqForDiam.ExactDiameterWeighted(0)
+	if !exact {
+		// An inexact reference is a lower bound, not a diameter: comparing
+		// the MR result against it would report a spurious (dis)agreement.
+		return nil, fmt.Errorf("expt: reference weighted diameter did not converge (iFUB search budget exhausted at %d)", ref)
+	}
 	report.DiameterRef = ref
 	if diamMR != ref {
 		return nil, fmt.Errorf("expt: MR diameter %d disagrees with reference %d", diamMR, ref)

@@ -18,8 +18,10 @@ import (
 //
 // The coin flips match core.Cluster's (same seed derivation), so the batch
 // structure is comparable across the shared-memory, distributed-memory and
-// MR implementations. Cluster returns the final state and the number of
-// batches.
+// MR implementations. The selection reducer is a pure hash-based coin flip
+// per node key, so selection rounds parallelize across reducer shards with
+// a batch structure independent of the shard count. Cluster returns the
+// final state and the number of batches.
 func (e *Engine) Cluster(g *graph.Graph, tau int, seed uint64) (*GrowState, int, error) {
 	if tau < 1 {
 		return nil, 0, errors.New("mr: Cluster requires tau >= 1")

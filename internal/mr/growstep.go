@@ -10,9 +10,11 @@ import (
 // the MR model with a constant number of sorting/prefix rounds, hence
 // O(R·log_ML m) rounds overall for R growing steps (O(R) when ML = Ω(nᵋ)).
 // GrowStep realizes one such step so that the round accounting of the whole
-// pipeline can be validated on the simulator: frontier nodes propose their
+// pipeline can be validated on the runtime: frontier nodes propose their
 // cluster to uncovered neighbors via the edge list, and each contended node
 // picks the smallest proposing cluster (a legal "arbitrary" tie-break).
+// The proposal groups of distinct contended nodes are independent, so the
+// reducer is concurrency-safe and the step parallelizes across shards.
 
 // GrowState is the MR-side state of a growing decomposition.
 type GrowState struct {

@@ -13,7 +13,9 @@ import (
 // product with the classical 2-round MR scheme (join on the inner index,
 // then reduce by output cell), which realizes the bound for
 // ℓ ≤ √ML-per-row workloads; the engine's accounting verifies the resource
-// usage rather than assuming it.
+// usage rather than assuming it. The join and min reducers are pure, so
+// both rounds — the Θ(ℓ³)-pair candidate generation in particular — run
+// concurrently across the engine's reducer shards.
 
 // Inf is the "no path" value in distance matrices. It is large enough that
 // Inf + Inf does not overflow int64.

@@ -1,7 +1,7 @@
-// Package mr simulates the MR(MG, ML) MapReduce model of Pietracaprina et
+// Package mr implements the MR(MG, ML) MapReduce model of Pietracaprina et
 // al. ([24] in the paper), the model in which Section 5 analyzes the
 // distributed implementation of CLUSTER/CLUSTER2 and of the diameter
-// estimator.
+// estimator — and actually executes it in parallel.
 //
 // An MR algorithm is a sequence of rounds. In a round, a multiset of
 // key-value pairs is transformed into a new multiset by applying a reducer
@@ -13,6 +13,26 @@
 // O(R·log_ML m) rounds for R growing steps, or Fact 2's bound for matrix
 // multiplication).
 //
+// # Execution model
+//
+// A round runs as a sharded shuffle-and-reduce: input pairs are
+// hash-partitioned by key into Config.Shards reducer shards, each shard is
+// sorted and reduced concurrently on a persistent bsp.Pool, and the shard
+// outputs are assembled in ascending key-group order. Because a key group
+// lives entirely in one shard and the assembly is ordered by key, the
+// round's output — and therefore every downstream round, the round count,
+// and MaxReducerInput — is bit-for-bit identical across shard counts,
+// including the single-shard sequential execution.
+//
+// # Resource accounting
+//
+// The MR(MG, ML) accounting is unchanged by parallel execution: MG bounds a
+// round's input and output multiset sizes, ML bounds a single key group,
+// and the counters (Rounds, TotalShuffled, MaxReducerInput, MaxGlobalPairs)
+// are shard-count independent. Accounting is all-or-nothing: a round that
+// fails either memory check leaves every counter and the RoundStats log
+// exactly as they were, so a failed probe cannot pollute a resource report.
+//
 // The driver program may inspect O(ML)-sized round outputs between rounds
 // (as a real MapReduce driver collects small side outputs); everything
 // data-sized must flow through Round.
@@ -21,7 +41,10 @@ package mr
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"time"
+
+	"repro/internal/bsp"
 )
 
 // Pair is a key-value pair. Values are opaque 2-word payloads, enough for
@@ -32,26 +55,65 @@ type Pair struct {
 	B   int64
 }
 
-// Config sets the model parameters.
+// Config sets the model and runtime parameters.
 type Config struct {
 	// MG is the global memory, in pairs. Zero means unlimited.
 	MG int64
 	// ML is the local (per-reducer) memory, in pairs. Zero means unlimited.
 	ML int64
+	// Shards is the number of parallel reducer shards (and pool workers).
+	// Non-positive selects GOMAXPROCS. Outputs and accounting are
+	// identical for every value.
+	Shards int
 }
 
-// Engine executes rounds and accounts resource usage.
+// defaultShards, when positive, overrides the GOMAXPROCS fallback for
+// Config.Shards <= 0. The package tests set it from the MR_SHARDS
+// environment variable so CI can sweep shard counts under -race.
+var defaultShards int
+
+// RoundStat records the execution profile of one successful round.
+type RoundStat struct {
+	// PairsIn is the round's input multiset size.
+	PairsIn int64 `json:"pairs_in"`
+	// PairsOut is the round's output multiset size.
+	PairsOut int64 `json:"pairs_out"`
+	// Shards is the number of reducer shards the round actually used
+	// (small rounds stay on the calling goroutine).
+	Shards int `json:"shards"`
+	// Millis is the round's wall-clock time.
+	Millis float64 `json:"millis"`
+}
+
+// Engine executes rounds and accounts resource usage. An Engine is not safe
+// for concurrent use; the parallelism lives inside Round.
 type Engine struct {
-	cfg Config
+	cfg    Config
+	shards int
+	pool   *bsp.Pool
 
 	rounds       int
 	maxGroup     int
 	maxGlobal    int64
 	totalShuffle int64
+	roundStats   []RoundStat
 }
 
 // NewEngine returns an engine for the given configuration.
-func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg} }
+func NewEngine(cfg Config) *Engine {
+	if cfg.Shards <= 0 && defaultShards > 0 {
+		cfg.Shards = defaultShards
+	}
+	return &Engine{cfg: cfg, shards: bsp.Workers(cfg.Shards)}
+}
+
+// Close releases the worker pool. The engine must not run rounds afterwards.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
 
 // Rounds returns the number of rounds executed so far.
 func (e *Engine) Rounds() int { return e.rounds }
@@ -59,7 +121,7 @@ func (e *Engine) Rounds() int { return e.rounds }
 // MaxReducerInput returns the largest group any reducer received.
 func (e *Engine) MaxReducerInput() int { return e.maxGroup }
 
-// MaxGlobalPairs returns the largest round input observed.
+// MaxGlobalPairs returns the largest round input or output observed.
 func (e *Engine) MaxGlobalPairs() int64 { return e.maxGlobal }
 
 // TotalShuffled returns the total number of pairs moved across all rounds.
@@ -68,64 +130,245 @@ func (e *Engine) TotalShuffled() int64 { return e.totalShuffle }
 // ML returns the configured local memory (0 = unlimited).
 func (e *Engine) ML() int64 { return e.cfg.ML }
 
+// Shards returns the configured shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// RoundStats returns a copy of the per-round execution profile. Failed
+// rounds leave no entry.
+func (e *Engine) RoundStats() []RoundStat {
+	return append([]RoundStat(nil), e.roundStats...)
+}
+
 // ErrLocalMemory is returned when a reducer's input exceeds ML.
 var ErrLocalMemory = errors.New("mr: reducer input exceeds local memory ML")
 
 // ErrGlobalMemory is returned when a round's input exceeds MG.
 var ErrGlobalMemory = errors.New("mr: round input exceeds global memory MG")
 
-// Emitter collects a reducer's output pairs.
+// Emitter collects a reducer's output pairs. It is only valid during the
+// reducer invocation it was passed to, and must not be called from
+// goroutines the reducer spawns.
 type Emitter func(Pair)
 
 // Reducer transforms one key group. pairs is sorted by (A, B) for
 // determinism and aliases engine-internal storage: it must not be retained.
+// Key groups are reduced concurrently across shards, so a Reducer must be
+// safe for concurrent invocation: a pure function of its group plus
+// read-only captured state.
 type Reducer func(key uint64, pairs []Pair, emit Emitter)
 
+// minShardPairs is the minimum number of input pairs per shard; rounds
+// smaller than 2·minShardPairs run on the calling goroutine alone.
+const minShardPairs = 512
+
+// shardsFor bounds the effective shard count for an n-pair round.
+func (e *Engine) shardsFor(n int) int {
+	s := e.shards
+	if most := n / minShardPairs; s > most {
+		s = most
+	}
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// mixKey is the splitmix64 finalizer: the shard hash must scramble keys
+// that clients assign sequentially (node ids, block ids, matrix cells) so
+// the shards stay balanced.
+func mixKey(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// shardGroup is one reduced key group inside a shard's output buffer.
+type shardGroup struct {
+	key    uint64
+	lo, hi int
+}
+
+// shardResult is one shard's contribution to a round, produced on its pool
+// worker and merged at the barrier.
+type shardResult struct {
+	out      []Pair
+	groups   []shardGroup
+	maxGroup int
+	errKey   uint64
+	err      error
+}
+
+// runShard sorts one shard's pairs by (key, A, B), reduces each key group,
+// and records the group boundaries for the ordered merge. On an ML
+// violation it stops at the first (lowest-key) offending group; because the
+// shard processes keys in ascending order, the minimum errKey across shards
+// is the same group the sequential execution would have tripped on.
+func runShard(ml int64, pairs []Pair, res *shardResult, reduce Reducer) {
+	// The comparison is a total order over all three fields, so the
+	// (unstable) sort is deterministic: equal elements are identical.
+	slices.SortFunc(pairs, func(a, b Pair) int {
+		switch {
+		case a.Key != b.Key:
+			if a.Key < b.Key {
+				return -1
+			}
+			return 1
+		case a.A != b.A:
+			if a.A < b.A {
+				return -1
+			}
+			return 1
+		case a.B < b.B:
+			return -1
+		case a.B > b.B:
+			return 1
+		}
+		return 0
+	})
+	var out []Pair
+	emit := func(p Pair) { out = append(out, p) }
+	for lo := 0; lo < len(pairs); {
+		hi := lo
+		for hi < len(pairs) && pairs[hi].Key == pairs[lo].Key {
+			hi++
+		}
+		group := pairs[lo:hi]
+		key := pairs[lo].Key
+		if ml > 0 && int64(len(group)) > ml {
+			res.errKey = key
+			res.err = fmt.Errorf("%w: key %d has %d pairs > %d",
+				ErrLocalMemory, key, len(group), ml)
+			return
+		}
+		if len(group) > res.maxGroup {
+			res.maxGroup = len(group)
+		}
+		glo := len(out)
+		reduce(key, group, emit)
+		res.groups = append(res.groups, shardGroup{key: key, lo: glo, hi: len(out)})
+		lo = hi
+	}
+	res.out = out
+}
+
 // Round runs one MapReduce round over input: pairs are grouped by key and
-// each group is handed to reduce. It returns the concatenated output.
+// each group is handed to reduce. It returns the output pairs assembled in
+// ascending key-group order (emission order within a group), which is
+// independent of the shard count. Counters are committed only if the round
+// passes both memory checks.
 func (e *Engine) Round(input []Pair, reduce Reducer) ([]Pair, error) {
 	if e.cfg.MG > 0 && int64(len(input)) > e.cfg.MG {
 		return nil, fmt.Errorf("%w: %d > %d", ErrGlobalMemory, len(input), e.cfg.MG)
 	}
-	if int64(len(input)) > e.maxGlobal {
-		e.maxGlobal = int64(len(input))
-	}
-	// Shuffle: stable ordering by (key, A, B) so reducers see a
-	// deterministic view.
-	buf := make([]Pair, len(input))
-	copy(buf, input)
-	sort.Slice(buf, func(i, j int) bool {
-		if buf[i].Key != buf[j].Key {
-			return buf[i].Key < buf[j].Key
-		}
-		if buf[i].A != buf[j].A {
-			return buf[i].A < buf[j].A
-		}
-		return buf[i].B < buf[j].B
-	})
+	start := time.Now()
+	shards := e.shardsFor(len(input))
+	results := make([]shardResult, shards)
 
-	var out []Pair
-	emit := func(p Pair) { out = append(out, p) }
-	for lo := 0; lo < len(buf); {
-		hi := lo
-		for hi < len(buf) && buf[hi].Key == buf[lo].Key {
-			hi++
+	if shards == 1 {
+		buf := make([]Pair, len(input))
+		copy(buf, input)
+		runShard(e.cfg.ML, buf, &results[0], reduce)
+	} else {
+		// Shuffle: hash-partition by key into contiguous per-shard regions
+		// of one scratch buffer.
+		counts := make([]int, shards)
+		for i := range input {
+			counts[int(mixKey(input[i].Key)%uint64(shards))]++
 		}
-		group := buf[lo:hi]
-		if e.cfg.ML > 0 && int64(len(group)) > e.cfg.ML {
-			return nil, fmt.Errorf("%w: key %d has %d pairs > %d",
-				ErrLocalMemory, buf[lo].Key, len(group), e.cfg.ML)
+		offsets := make([]int, shards+1)
+		for s := 0; s < shards; s++ {
+			offsets[s+1] = offsets[s] + counts[s]
 		}
-		if len(group) > e.maxGroup {
-			e.maxGroup = len(group)
+		buf := make([]Pair, len(input))
+		pos := make([]int, shards)
+		copy(pos, offsets[:shards])
+		for i := range input {
+			s := int(mixKey(input[i].Key) % uint64(shards))
+			buf[pos[s]] = input[i]
+			pos[s]++
 		}
-		reduce(buf[lo].Key, group, emit)
-		lo = hi
+		if e.pool == nil {
+			e.pool = bsp.NewPool(e.shards)
+		}
+		e.pool.Run(func(worker int) {
+			for s := worker; s < shards; s += e.shards {
+				runShard(e.cfg.ML, buf[offsets[s]:offsets[s+1]], &results[s], reduce)
+			}
+		})
 	}
-	e.rounds++
-	e.totalShuffle += int64(len(input))
+
+	// Barrier: surface the lowest-key ML violation (deterministic across
+	// shard counts) before committing anything.
+	var roundErr error
+	var errKey uint64
+	for s := range results {
+		if results[s].err != nil && (roundErr == nil || results[s].errKey < errKey) {
+			roundErr, errKey = results[s].err, results[s].errKey
+		}
+	}
+	if roundErr != nil {
+		return nil, roundErr
+	}
+
+	// Assemble shard outputs in ascending key-group order. Each shard's
+	// group list is already key-sorted and a key lives in exactly one
+	// shard, so a linear multi-way merge reproduces the sequential order.
+	// A single shard already IS that order — no copy needed.
+	var out []Pair
+	if shards == 1 {
+		out = results[0].out
+	} else {
+		total := 0
+		for s := range results {
+			total += len(results[s].out)
+		}
+		out = make([]Pair, 0, total)
+		idx := make([]int, shards)
+		for {
+			best := -1
+			var bestKey uint64
+			for s := 0; s < shards; s++ {
+				if idx[s] < len(results[s].groups) {
+					if k := results[s].groups[idx[s]].key; best < 0 || k < bestKey {
+						best, bestKey = s, k
+					}
+				}
+			}
+			if best < 0 {
+				break
+			}
+			g := results[best].groups[idx[best]]
+			out = append(out, results[best].out[g.lo:g.hi]...)
+			idx[best]++
+		}
+	}
+
 	if e.cfg.MG > 0 && int64(len(out)) > e.cfg.MG {
 		return nil, fmt.Errorf("%w: output %d > %d", ErrGlobalMemory, len(out), e.cfg.MG)
 	}
+
+	// Commit: the round succeeded, fold the per-shard counters in.
+	e.rounds++
+	e.totalShuffle += int64(len(input))
+	for s := range results {
+		if results[s].maxGroup > e.maxGroup {
+			e.maxGroup = results[s].maxGroup
+		}
+	}
+	if int64(len(input)) > e.maxGlobal {
+		e.maxGlobal = int64(len(input))
+	}
+	if int64(len(out)) > e.maxGlobal {
+		e.maxGlobal = int64(len(out))
+	}
+	e.roundStats = append(e.roundStats, RoundStat{
+		PairsIn:  int64(len(input)),
+		PairsOut: int64(len(out)),
+		Shards:   shards,
+		Millis:   float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
 	return out, nil
 }

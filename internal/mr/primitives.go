@@ -8,6 +8,14 @@ import (
 // Fact 1 primitives: sorting and (segmented) prefix sums in O(log_ML n)
 // rounds on MR(MG, ML) with MG = Θ(n).
 //
+// Every reducer below is a pure function of its key group plus read-only
+// captured state (splitters, block offsets), so the primitives run
+// unchanged on the sharded parallel runtime: block and bucket keys are
+// spread across reducer shards and processed concurrently, while the
+// engine's key-ordered assembly preserves the concatenation arguments the
+// schemes rely on (bucket outputs come back in splitter order, block
+// outputs in block order) for every shard count.
+//
 // The implementations follow the standard sample-sort / block-scan schemes:
 // data is cut into blocks of ML pairs keyed by block id; per-block work is
 // one round; the O(n/ML)-sized block summaries fit in a single reducer as

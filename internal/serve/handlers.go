@@ -17,6 +17,7 @@ import (
 //	GET /distance?graph=G&u=U&v=V[&tau=T][&seed=S][&algo=cluster|cluster2]
 //	GET /cluster-of?graph=G&u=U[&tau=T][&seed=S][&algo=...]
 //	GET /diameter?graph=G[&tau=T][&seed=S][&algo=...]
+//	GET /mr-diameter?graph=G[&tau=T][&seed=S]
 //	GET /kcenter?graph=G&k=K[&seed=S]
 //	GET /stats
 //	GET /healthz
@@ -28,6 +29,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/distance", s.wrap(s.handleDistance))
 	mux.HandleFunc("/cluster-of", s.wrap(s.handleClusterOf))
 	mux.HandleFunc("/diameter", s.wrap(s.handleDiameter))
+	mux.HandleFunc("/mr-diameter", s.wrap(s.handleMRDiameter))
 	mux.HandleFunc("/kcenter", s.wrap(s.handleKCenter))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		s.met.requests.Add(1)
@@ -157,9 +159,11 @@ func parseNodeID(r *http.Request, name string) (graph.NodeID, error) {
 	return graph.NodeID(id), nil
 }
 
-// checkNodeRange is the semantic half, run against the oracle's own graph
-// (not a separate registry fetch — RegisterGraph may swap the topology
-// concurrently).
+// checkNodeRange is the semantic half. It runs twice per request: first
+// against the registered graph, before the artifact build, so an
+// out-of-range id is a cheap 400 instead of the trigger for (and a cache
+// slot spent on) a multi-second decomposition; then against the oracle's
+// own graph, because RegisterGraph may swap the topology between the two.
 func checkNodeRange(name string, id graph.NodeID, g *graph.Graph) error {
 	if int(id) >= g.NumNodes() {
 		return badRequest("node %s=%d out of range [0, %d)", name, id, g.NumNodes())
@@ -195,6 +199,13 @@ func (s *Server) handleDistance(r *http.Request) (any, error) {
 	}
 	v, err := parseNodeID(r, "v")
 	if err != nil {
+		return nil, err
+	}
+	if g, err := s.Graph(p.graph); err != nil {
+		return nil, err
+	} else if err := checkNodeRange("u", u, g); err != nil {
+		return nil, err
+	} else if err := checkNodeRange("v", v, g); err != nil {
 		return nil, err
 	}
 	o, err := s.Oracle(r.Context(), p.graph, p.tau, p.seed, p.algo)
@@ -250,6 +261,11 @@ func (s *Server) handleClusterOf(r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	if g, err := s.Graph(p.graph); err != nil {
+		return nil, err
+	} else if err := checkNodeRange("u", u, g); err != nil {
+		return nil, err
+	}
 	o, err := s.Oracle(r.Context(), p.graph, p.tau, p.seed, p.algo)
 	if err != nil {
 		return nil, err
@@ -301,6 +317,48 @@ func (s *Server) handleDiameter(r *http.Request) (any, error) {
 		RMax:        res.RMax,
 		NumClusters: res.Clustering.NumClusters(),
 		Exact:       res.Exact,
+	}, nil
+}
+
+// MRDiameterResponse answers /mr-diameter: the Section 5 diameter path
+// executed on the sharded MR runtime, with the round accounting the model
+// charges for it. Upper = 2R + quotient_diameter is the certified bound.
+type MRDiameterResponse struct {
+	Graph            string `json:"graph"`
+	QuotientDiameter int64  `json:"quotient_diameter"`
+	Upper            int64  `json:"upper"`
+	RMax             int32  `json:"r_max"`
+	NumClusters      int    `json:"num_clusters"`
+	MRRounds         int    `json:"mr_rounds"`
+	MRShards         int    `json:"mr_shards"`
+	MRPairsShuffled  int64  `json:"mr_pairs_shuffled"`
+	MRMaxReducer     int    `json:"mr_max_reducer_input"`
+}
+
+func (s *Server) handleMRDiameter(r *http.Request) (any, error) {
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return nil, err
+	}
+	// The MR pipeline only implements CLUSTER; an explicit algo=cluster2
+	// must be rejected rather than silently answered with CLUSTER results.
+	if a := r.URL.Query().Get("algo"); a != "" && a != "cluster" {
+		return nil, badRequest("mr-diameter runs the CLUSTER pipeline only (got algo=%q)", a)
+	}
+	res, err := s.MRDiameter(r.Context(), p.graph, p.tau, p.seed)
+	if err != nil {
+		return nil, err
+	}
+	return MRDiameterResponse{
+		Graph:            p.graph,
+		QuotientDiameter: res.QuotientDiameter,
+		Upper:            res.Upper,
+		RMax:             res.RMax,
+		NumClusters:      res.NumClusters,
+		MRRounds:         res.Rounds,
+		MRShards:         res.Shards,
+		MRPairsShuffled:  res.PairsShuffled,
+		MRMaxReducer:     res.MaxReducerInput,
 	}, nil
 }
 

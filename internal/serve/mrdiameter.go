@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+
+	"repro/internal/bsp"
+	"repro/internal/core"
+	"repro/internal/mr"
+	"repro/internal/quotient"
+)
+
+// maxMRQuotient caps the quotient size admitted to repeated min-plus
+// squaring: one squaring emits up to ℓ³ candidate pairs, so tau is the
+// client-controlled knob that could otherwise turn one request into a
+// multi-gigabyte shuffle. 256³ pairs ≈ 400 MB transient, the largest we
+// let a single build allocate.
+const maxMRQuotient = 256
+
+// MRDiameterResult is the cached artifact behind /mr-diameter: the
+// paper's Section 5 diameter path executed on the sharded MR runtime —
+// CLUSTER(τ) decomposition, weighted quotient, then ⌈log₂ℓ⌉ min-plus
+// squarings — with the run's full MR(MG, ML) accounting attached.
+type MRDiameterResult struct {
+	// QuotientDiameter is ∆′C, the weighted quotient diameter computed by
+	// repeated squaring; Upper = 2R + ∆′C is the certified upper bound.
+	QuotientDiameter int64
+	Upper            int64
+	RMax             int32
+	NumClusters      int
+
+	// MR accounting of the squaring pipeline (shard-count invariant).
+	Rounds          int
+	Shards          int
+	PairsShuffled   int64
+	MaxReducerInput int
+	RoundStats      []mr.RoundStat
+
+	// Stats is the BSP cost of the decomposition the quotient came from.
+	Stats bsp.Stats
+}
+
+// MRDiameter returns the cached MR-runtime diameter artifact for the
+// graph, building it on first use. tau <= 0 resolves like the oracle
+// default. The MR round accounting is surfaced per artifact in /stats.
+func (s *Server) MRDiameter(ctx context.Context, name string, tau int, seed uint64) (*MRDiameterResult, error) {
+	g, err := s.Graph(name)
+	if err != nil {
+		return nil, err
+	}
+	if tau <= 0 {
+		tau = s.cfg.DefaultTau
+	}
+	if tau <= 0 {
+		tau = core.DefaultOracleTau(g.NumNodes())
+	}
+	key := Key{Graph: name, Kind: "mrdiameter", Tau: tau, Seed: seed, Algorithm: "cluster"}
+	v, err := s.artifact(ctx, key, func() (any, error) {
+		g, err := s.Graph(key.Graph)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := core.Cluster(g, key.Tau, s.buildOptions(seed))
+		if err != nil {
+			return nil, err
+		}
+		_, wq, err := quotient.BuildWeighted(g, cl.Owner, cl.Dist, cl.NumClusters())
+		if err != nil {
+			return nil, err
+		}
+		if wq.NumNodes() > maxMRQuotient {
+			return nil, badRequest("quotient has %d clusters, above the %d-cluster cap for MR repeated squaring (decrease tau, or use /diameter)",
+				wq.NumNodes(), maxMRQuotient)
+		}
+		eng := mr.NewEngine(mr.Config{Shards: s.cfg.BuildWorkers})
+		defer eng.Close()
+		diam, err := eng.DiameterByRepeatedSquaring(wq)
+		if err != nil {
+			return nil, err
+		}
+		return &MRDiameterResult{
+			QuotientDiameter: diam,
+			Upper:            2*int64(cl.MaxRadius()) + diam,
+			RMax:             cl.MaxRadius(),
+			NumClusters:      cl.NumClusters(),
+			Rounds:           eng.Rounds(),
+			Shards:           eng.Shards(),
+			PairsShuffled:    eng.TotalShuffled(),
+			MaxReducerInput:  eng.MaxReducerInput(),
+			RoundStats:       eng.RoundStats(),
+			Stats:            cl.Stats,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*MRDiameterResult), nil
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/bsp"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mr"
 	"repro/internal/snapshot"
 )
 
@@ -99,6 +100,16 @@ type ArtifactCost struct {
 	MaxFrontier int     `json:"max_frontier"`
 	Relaxations int64   `json:"bsp_relaxations"`
 	Buckets     int     `json:"bsp_buckets"`
+
+	// MR(MG, ML) accounting, for artifacts whose build ran on the sharded
+	// MR runtime (/mr-diameter): rounds, pairs moved by the shuffle, the
+	// largest single reducer input, and the per-round execution profile.
+	// Zero/absent for purely BSP-built artifacts.
+	MRRounds        int            `json:"mr_rounds,omitempty"`
+	MRShards        int            `json:"mr_shards,omitempty"`
+	MRPairsShuffled int64          `json:"mr_pairs_shuffled,omitempty"`
+	MRMaxReducer    int            `json:"mr_max_reducer_input,omitempty"`
+	MRRoundStats    []mr.RoundStat `json:"mr_round_stats,omitempty"`
 }
 
 // entry is a cache slot. ready is closed when val/err are set; concurrent
@@ -200,7 +211,7 @@ func (s *Server) InstallSnapshot(a *snapshot.Artifact) error {
 	}
 	key := Key{Graph: name, Kind: "oracle", Tau: a.Meta.Tau, Seed: a.Meta.Seed, Algorithm: algo}
 	e := &entry{ready: make(chan struct{}), val: a.Oracle}
-	e.cost = costFor(key, "snapshot", 0, artifactStats(a.Oracle))
+	e.cost = costFor(key, "snapshot", 0, a.Oracle)
 	e.lastUsed.Store(s.clock.Add(1))
 	close(e.ready)
 	s.mu.Lock()
@@ -338,15 +349,18 @@ func artifactStats(val any) *bsp.Stats {
 		return &v.Clustering.Stats
 	case *core.KCenterResult:
 		return &v.Clustering.Stats
+	case *MRDiameterResult:
+		return &v.Stats
 	}
 	return nil
 }
 
-func costFor(key Key, source string, millis float64, st *bsp.Stats) *ArtifactCost {
+func costFor(key Key, source string, millis float64, val any) *ArtifactCost {
+	st := artifactStats(val)
 	if st == nil {
 		return nil
 	}
-	return &ArtifactCost{
+	c := &ArtifactCost{
 		Key:         key.String(),
 		Source:      source,
 		BuildMillis: millis,
@@ -357,6 +371,14 @@ func costFor(key Key, source string, millis float64, st *bsp.Stats) *ArtifactCos
 		Relaxations: st.Relaxations,
 		Buckets:     st.Buckets,
 	}
+	if m, ok := val.(*MRDiameterResult); ok {
+		c.MRRounds = m.Rounds
+		c.MRShards = m.Shards
+		c.MRPairsShuffled = m.PairsShuffled
+		c.MRMaxReducer = m.MaxReducerInput
+		c.MRRoundStats = m.RoundStats
+	}
+	return c
 }
 
 func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, error) {
@@ -367,7 +389,7 @@ func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, er
 	elapsed := stop()
 	if e.err == nil {
 		millis := float64(elapsed.Nanoseconds()) / 1e6
-		e.cost = costFor(key, "build", millis, artifactStats(e.val))
+		e.cost = costFor(key, "build", millis, e.val)
 	}
 	if e.err != nil {
 		s.mu.Lock()

@@ -288,13 +288,20 @@ func TestErrorPaths(t *testing.T) {
 	}{
 		{"/distance?graph=nope&u=0&v=1", http.StatusNotFound},
 		{"/distance?graph=mesh&u=0", http.StatusBadRequest},           // missing v
-		{"/distance?graph=mesh&u=0&v=100000", http.StatusBadRequest},  // out of range
+		{"/distance?graph=mesh&u=0&v=100000", http.StatusBadRequest},  // v out of range
+		{"/distance?graph=mesh&u=100&v=1", http.StatusBadRequest},     // u out of range (n=100)
 		{"/distance?graph=mesh&u=-1&v=1", http.StatusBadRequest},      // negative
 		{"/distance?graph=mesh&u=0&v=1&tau=x", http.StatusBadRequest}, // bad tau
 		{"/distance?graph=mesh&u=0&v=1&algo=bogus", http.StatusBadRequest},
-		{"/distance?u=0&v=1", http.StatusBadRequest},   // missing graph
-		{"/kcenter?graph=mesh", http.StatusBadRequest}, // missing k
+		{"/distance?u=0&v=1", http.StatusBadRequest},                     // missing graph
+		{"/cluster-of?graph=mesh", http.StatusBadRequest},                // missing u
+		{"/cluster-of?graph=mesh&u=-7", http.StatusBadRequest},           // negative
+		{"/cluster-of?graph=mesh&u=100", http.StatusBadRequest},          // out of range
+		{"/cluster-of?graph=mesh&u=999999999999", http.StatusBadRequest}, // int32 overflow
+		{"/kcenter?graph=mesh", http.StatusBadRequest},                   // missing k
 		{"/kcenter?graph=mesh&k=0", http.StatusBadRequest},
+		{"/mr-diameter?graph=mesh&algo=cluster2", http.StatusBadRequest}, // CLUSTER only
+		{"/mr-diameter?graph=nope", http.StatusNotFound},
 	}
 	for _, c := range cases {
 		if code := getStatus(t, ts.URL+c.url); code != c.code {
@@ -307,6 +314,21 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if st.Errors != int64(len(cases)) {
 		t.Errorf("errors = %d want %d", st.Errors, len(cases))
+	}
+	// Out-of-range ids must be rejected before the artifact build: garbage
+	// requests may not cost (or cache-churn) a decomposition.
+	if st.Builds != 0 {
+		t.Errorf("malformed requests triggered %d artifact builds, want 0", st.Builds)
+	}
+	// The rejection must carry a usable message.
+	resp, err := http.Get(ts.URL + "/cluster-of?graph=mesh&u=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("out of range")) {
+		t.Errorf("out-of-range error body %q lacks a clear message", body)
 	}
 }
 
@@ -430,6 +452,85 @@ func TestStatsSurfacesArtifactBuildCost(t *testing.T) {
 		return st.ArtifactDetails[i].Key < st.ArtifactDetails[j].Key
 	}) {
 		t.Fatal("artifact details not sorted by key")
+	}
+}
+
+// /mr-diameter runs the Section 5 pipeline on the sharded MR runtime; its
+// certified bound must bracket the true diameter, its result must be
+// shard-count invariant, and /stats must carry the MR round accounting.
+func TestMRDiameterEndpoint(t *testing.T) {
+	g := graph.Mesh(30, 30)
+	s, ts := newTestServer(t, "mesh", g)
+	var resp MRDiameterResponse
+	if code := getJSON(t, ts.URL+"/mr-diameter?graph=mesh&tau=1&seed=2", &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	truth := int64(58) // 29+29 on a 30x30 mesh
+	if resp.Upper < truth {
+		t.Fatalf("MR upper bound %d below true diameter %d", resp.Upper, truth)
+	}
+	if resp.Upper != 2*int64(resp.RMax)+resp.QuotientDiameter {
+		t.Fatalf("upper %d != 2·%d + %d", resp.Upper, resp.RMax, resp.QuotientDiameter)
+	}
+	if resp.MRRounds <= 0 || resp.MRPairsShuffled <= 0 || resp.MRMaxReducer <= 0 || resp.MRShards < 1 {
+		t.Fatalf("empty MR accounting: %+v", resp)
+	}
+
+	// Same build on a single-shard server: bit-identical result.
+	s1 := New(Config{Workers: 4, BuildWorkers: 1})
+	if err := s1.RegisterGraph("mesh", g); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s1.MRDiameter(context.Background(), "mesh", 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.QuotientDiameter != resp.QuotientDiameter || ref.Rounds != resp.MRRounds ||
+		ref.PairsShuffled != resp.MRPairsShuffled || ref.MaxReducerInput != resp.MRMaxReducer {
+		t.Fatalf("single-shard build differs: %+v vs %+v", ref, resp)
+	}
+
+	// /stats surfaces the MR cost on the artifact line.
+	var st Stats
+	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	found := false
+	for _, d := range st.ArtifactDetails {
+		if d.MRRounds > 0 {
+			found = true
+			if d.MRPairsShuffled != resp.MRPairsShuffled || d.MRMaxReducer != resp.MRMaxReducer {
+				t.Fatalf("stats MR cost %+v inconsistent with response %+v", d, resp)
+			}
+			if len(d.MRRoundStats) != d.MRRounds {
+				t.Fatalf("%d round stats for %d MR rounds", len(d.MRRoundStats), d.MRRounds)
+			}
+			var shuffled int64
+			for _, rs := range d.MRRoundStats {
+				shuffled += rs.PairsIn
+			}
+			if shuffled != d.MRPairsShuffled {
+				t.Fatalf("round stats sum %d != shuffled %d", shuffled, d.MRPairsShuffled)
+			}
+			if d.Rounds <= 0 || d.Messages <= 0 {
+				t.Fatalf("MR artifact is missing its decomposition BSP cost: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no MR cost line in /stats: %+v", st.ArtifactDetails)
+	}
+	_ = s
+}
+
+// A tau so coarse that the quotient exceeds the squaring cap must be a 400,
+// not an OOM.
+func TestMRDiameterQuotientCap(t *testing.T) {
+	g := graph.Mesh(40, 40)
+	_, ts := newTestServer(t, "mesh", g)
+	// tau=1600 ≥ n makes every node a center: 1600 clusters > 256 cap.
+	if code := getStatus(t, ts.URL+"/mr-diameter?graph=mesh&tau=1600&seed=1"); code != http.StatusBadRequest {
+		t.Fatalf("oversized quotient: status %d want 400", code)
 	}
 }
 
