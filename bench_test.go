@@ -420,7 +420,7 @@ func BenchmarkOracleBuild(b *testing.B) {
 		b.Run("delta/"+benchName("workers", w), func(b *testing.B) {
 			var st bsp.Stats
 			for i := 0; i < b.N; i++ {
-				o, err := core.OracleFromClustering(cl, core.Options{Workers: w})
+				o, err := core.OracleFromClustering(context.Background(), cl, core.Options{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -520,7 +520,7 @@ func BenchmarkServeDistance(b *testing.B) {
 // for comparison with the full HTTP round trip above.
 func BenchmarkServeOracleQuery(b *testing.B) {
 	_, _, road := benchGraphs()
-	o, err := core.BuildOracle(road, 4, false, core.Options{Seed: 1})
+	o, err := core.BuildOracle(context.Background(), road, 4, false, core.Options{Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

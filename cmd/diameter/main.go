@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/anf"
@@ -48,10 +50,22 @@ func main() {
 	fail(err)
 	fmt.Println("graph:", graph.Summarize(g))
 
+	// Ctrl-C cancels the in-flight estimation at its next superstep barrier
+	// instead of leaving a multi-second build running to completion. Once
+	// the context fires, stop() restores default signal handling, so a
+	// second Ctrl-C kills immediately — which also covers the bfs/hadi
+	// baselines that are not context-aware.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	want := func(name string) bool { return *algo == "all" || *algo == name }
 
 	if want("cluster") {
-		res, err := core.ApproxDiameter(g, core.DiameterOptions{
+		res, err := core.ApproxDiameter(ctx, g, core.DiameterOptions{
 			Options:     core.Options{Seed: *seed, Workers: *workers},
 			Tau:         *tau,
 			UseCluster2: *useCluster2,
@@ -78,7 +92,8 @@ func main() {
 	}
 	if want("exact") {
 		start := time.Now()
-		d, exact := g.ExactDiameter(0)
+		d, exact, err := g.ExactDiameterContext(ctx, 0)
+		fail(err)
 		mark := "exact"
 		if !exact {
 			mark = "lower bound"

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/core"
@@ -32,8 +34,19 @@ func main() {
 	fail(err)
 	fmt.Println("graph:", graph.Summarize(g))
 
+	// Ctrl-C cancels the in-flight decomposition at its next round barrier;
+	// after the context fires, default handling returns, so a second
+	// Ctrl-C kills immediately (covering the non-context-aware Gonzalez
+	// baseline pass).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	start := time.Now()
-	res, err := core.KCenter(g, *k, core.Options{Seed: *seed, Workers: *workers})
+	res, err := core.KCenter(ctx, g, *k, core.Options{Seed: *seed, Workers: *workers})
 	fail(err)
 	fmt.Printf("CLUSTER k-center:  %d centers, radius %d (merged=%v, %v)\n",
 		len(res.Centers), res.Radius, res.Merged, time.Since(start).Round(time.Millisecond))

@@ -61,6 +61,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "request worker pool size (0 = GOMAXPROCS)")
 		build    = flag.Int("build-workers", 0, "BSP workers for artifact builds (0 = GOMAXPROCS)")
 		lazy     = flag.Bool("lazy", false, "skip the startup oracle build; first query pays it")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget: cancel builds, drain handlers, write the snapshot")
 	)
 	flag.Parse()
 
@@ -98,7 +99,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.Handler(),
+		// Idle half-open connections must not pin goroutines forever: a
+		// client that opens a socket and never finishes its headers is cut
+		// off, not accumulated. No WriteTimeout: a fixed response deadline
+		// would permanently cap the largest cold build an endpoint can
+		// serve (each retry would restart the build and die at the same
+		// wall); clients that give up instead cancel the build via the
+		// serve layer's last-waiter accounting.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() {
 		log.Printf("reprod: serving %v on %s", s.GraphNames(), *addr)
 		log.Printf("reprod: try  curl 'http://localhost%s/distance?graph=%s&u=0&v=1'",
@@ -112,9 +126,37 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	log.Print("reprod: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	_ = srv.Shutdown(ctx)
+	// Order matters: cancelling the in-flight builds first turns every
+	// handler blocked on a build into an immediate 503, so the HTTP drain
+	// that follows completes quickly instead of riding out a multi-second
+	// decomposition the departing clients no longer want. Requests racing
+	// the drain cannot start fresh builds — the server rejects them with
+	// ErrShuttingDown once its Shutdown has begun.
+	if err := s.Shutdown(ctx); err != nil {
+		log.Printf("reprod: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("reprod: http drain: %v", err)
+	}
+	// A lazily built oracle was never persisted at startup; write it now so
+	// the next start is warm. Only a cached, completed oracle is written —
+	// shutdown must never trigger a build — and only within the -drain
+	// budget: past the deadline a supervisor is about to SIGKILL us, and
+	// starting a large write then would just be torn up.
+	if *snapPath != "" && *lazy && ctx.Err() == nil {
+		if built, ok, err := s.CachedOracleArtifact(graphName, *tau, *seed, *algo); err != nil {
+			log.Printf("reprod: shutdown snapshot: %v", err)
+		} else if ok {
+			if err := snapshot.Save(*snapPath, built); err != nil {
+				log.Printf("reprod: shutdown snapshot: %v", err)
+			} else {
+				log.Printf("reprod: wrote snapshot %s before exit", *snapPath)
+			}
+		}
+	}
+	log.Print("reprod: bye")
 }
 
 // bootstrap loads or builds the serving state and returns the graph name.

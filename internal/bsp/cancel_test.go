@@ -1,0 +1,129 @@
+package bsp_test
+
+// Cancellation semantics of the two engines: a cancelled context stops the
+// traversal at the next superstep / bucket barrier, drops the frontier so
+// driver loops terminate, and surfaces the cause via Err — without ever
+// perturbing the deterministic schedule of an uncancelled run (the checks
+// sit at barriers that already exist).
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bsp"
+	"repro/internal/graph"
+)
+
+func TestEngineStepHonorsCancelledContext(t *testing.T) {
+	g := graph.Mesh(30, 30)
+	e := bsp.NewEngine(g, 2)
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e.SetContext(ctx)
+
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	e.Seed(0)
+	var depth atomic.Int32
+	spec := bsp.StepSpec{
+		Push: func(_ int, u, v graph.NodeID) bool {
+			return atomic.CompareAndSwapInt32(&dist[v], -1, depth.Load())
+		},
+	}
+	depth.Store(1)
+
+	// One live round works normally.
+	if rs := e.Step(spec); rs.Claimed == 0 {
+		t.Fatal("first superstep claimed nothing")
+	}
+	rounds := e.Stats().Rounds
+
+	// After the cancel, the very next Step is a no-op: no round executed,
+	// frontier dropped, Err reports the cause.
+	cancel()
+	if rs := e.Step(spec); rs.Frontier != 0 || rs.Claimed != 0 || rs.Arcs != 0 {
+		t.Fatalf("cancelled Step did work: %+v", rs)
+	}
+	if got := e.Stats().Rounds; got != rounds {
+		t.Fatalf("cancelled Step recorded a round (%d -> %d)", rounds, got)
+	}
+	if e.FrontierLen() != 0 {
+		t.Fatalf("cancelled Step left %d frontier nodes; driver loops would spin", e.FrontierLen())
+	}
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", e.Err())
+	}
+
+	// GatherStep obeys the same contract.
+	e.SetFrontier([]graph.NodeID{0, 1, 2})
+	if rs := e.GatherStep(func(_ int, v graph.NodeID) bool { return true }); rs.Claimed != 0 {
+		t.Fatalf("cancelled GatherStep did work: %+v", rs)
+	}
+	if e.FrontierLen() != 0 {
+		t.Fatal("cancelled GatherStep left a frontier")
+	}
+}
+
+func TestEngineNilContextNeverCancels(t *testing.T) {
+	g := graph.Path(50)
+	e := bsp.NewEngine(g, 1)
+	defer e.Close()
+	if e.Err() != nil {
+		t.Fatalf("engine without SetContext reports %v", e.Err())
+	}
+}
+
+func TestWeightedEngineHonorsCancelledContext(t *testing.T) {
+	wg := randomWeightedGraph(t, graph.Mesh(20, 20), 7, 10)
+	e := bsp.NewWeightedEngine(wg, 2, 0)
+	defer e.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+
+	e.GrowInit()
+	e.AddSource(0, 0)
+	ok, err := e.ProcessBucket()
+	if ok {
+		t.Fatal("cancelled ProcessBucket reported live work")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ProcessBucket err = %v, want context.Canceled", err)
+	}
+	if !errors.Is(e.Err(), context.Canceled) {
+		t.Fatalf("Err() = %v, want context.Canceled", e.Err())
+	}
+}
+
+func TestWeightedEngineSSSPStopsAfterCancel(t *testing.T) {
+	wg := randomWeightedGraph(t, graph.Mesh(40, 40), 3, 25)
+
+	// A pre-cancelled run terminates immediately and flags itself.
+	e := bsp.NewWeightedEngine(wg, 1, 0)
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	dist := make([]int64, wg.NumNodes())
+	e.SSSP(0, dist)
+	if e.Err() == nil {
+		t.Fatal("cancelled SSSP left Err() nil")
+	}
+	reached := 0
+	for _, d := range dist {
+		if d != bsp.WInf {
+			reached++
+		}
+	}
+	// Only the source can have settled; the schedule never ran.
+	if reached > 1 {
+		t.Fatalf("cancelled SSSP still settled %d nodes", reached)
+	}
+}

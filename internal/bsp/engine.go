@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"math/bits"
 )
 
@@ -116,6 +117,9 @@ type Engine struct {
 	stats Stats
 	log   []RoundStat
 
+	// ctx arms cooperative cancellation (SetContext); nil never cancels.
+	ctx context.Context
+
 	// Per-worker scratch, reused across rounds.
 	bufs     [][]NodeID
 	arcs     []int64
@@ -161,6 +165,26 @@ func (e *Engine) Topology() Topology { return e.t }
 // SetDirection pins the traversal direction (DirAuto restores the hybrid
 // heuristic). Benchmarks use DirPush to measure the pure top-down baseline.
 func (e *Engine) SetDirection(d Direction) { e.mode = d }
+
+// SetContext arms cooperative cancellation: Step and GatherStep check ctx
+// at the superstep barrier — never inside one — so a cancelled traversal
+// stops within one round while an uncancelled run executes exactly the
+// same deterministic round schedule as before. Once ctx is cancelled the
+// engine drops its frontier, making every driver loop terminate, and Err
+// reports the cause. A nil ctx (the default) never cancels. The context
+// survives Reset, covering multi-traversal computations like iFUB.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Err returns the context error if SetContext armed cancellation and the
+// context has been cancelled, else nil. Drivers check it after their
+// superstep loops to distinguish a finished traversal from an abandoned
+// one.
+func (e *Engine) Err() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
 
 // Stats returns the accumulated cost counters. Reset does not clear them,
 // so a multi-traversal computation (e.g. iFUB's many BFS runs) reads its
@@ -286,8 +310,13 @@ func (e *Engine) chooseDirection(havePull bool, probers, arcCap int64) Direction
 
 // Step performs one claim-style superstep in the chosen direction, replaces
 // the frontier with the newly claimed nodes, and returns the round record.
-// An empty frontier is a no-op returning a zero RoundStat.
+// An empty frontier — or a cancelled context (see SetContext) — is a no-op
+// returning a zero RoundStat.
 func (e *Engine) Step(spec StepSpec) RoundStat {
+	if e.Err() != nil {
+		e.frontier = e.frontier[:0]
+		return RoundStat{}
+	}
 	nf := len(e.frontier)
 	if nf == 0 {
 		return RoundStat{}
@@ -469,6 +498,10 @@ func (e *Engine) syncFrontierBits() {
 // counts the membership probes plus the full degree of every gathered
 // candidate (the gather callback's own adjacency scan).
 func (e *Engine) GatherStep(gather func(worker int, v NodeID) bool) RoundStat {
+	if e.Err() != nil {
+		e.frontier = e.frontier[:0]
+		return RoundStat{}
+	}
 	nf := len(e.frontier)
 	if nf == 0 {
 		return RoundStat{}

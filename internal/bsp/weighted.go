@@ -1,6 +1,7 @@
 package bsp
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 )
@@ -104,6 +105,9 @@ type WeightedEngine struct {
 	buckets map[int64][]NodeID
 	bheap   []int64
 	free    [][]NodeID
+
+	// ctx arms cooperative cancellation (SetContext); nil never cancels.
+	ctx context.Context
 
 	// Per-phase scratch.
 	frontier []NodeID
@@ -214,6 +218,24 @@ func (e *WeightedEngine) NumWorkers() int { return e.workers }
 // Stats returns the accumulated cost counters; like Engine, resets between
 // runs keep them so multi-search computations read their aggregate cost.
 func (e *WeightedEngine) Stats() Stats { return e.stats }
+
+// SetContext arms cooperative cancellation: bucket processing checks ctx
+// at bucket and phase barriers — never inside a relaxation phase — so a
+// cancelled run stops within one phase while an uncancelled run executes
+// exactly the same deterministic bucket schedule. After cancellation the
+// claim state is partial; Err reports the cause and drivers must discard
+// the run. A nil ctx (the default) never cancels. The context survives
+// reset, covering multi-search computations like the weighted iFUB.
+func (e *WeightedEngine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// Err returns the context error if SetContext armed cancellation and the
+// context has been cancelled, else nil.
+func (e *WeightedEngine) Err() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
 
 // Close stops the pool goroutines. The engine must not be used afterwards.
 func (e *WeightedEngine) Close() { e.pool.Close() }
@@ -427,6 +449,13 @@ func (e *WeightedEngine) admit(v NodeID) {
 // work (stale entries are consumed either way).
 func (e *WeightedEngine) processBucket() bool {
 	for len(e.bheap) > 0 {
+		if e.Err() != nil {
+			// Cancelled at a bucket barrier: leave the pending buckets
+			// unconsumed and report no further work; ProcessBucket (and
+			// Err) surface the cause, and the run's claim state is
+			// discarded by the driver.
+			return false
+		}
 		id := e.heapPop()
 		list := e.buckets[id]
 		delete(e.buckets, id)
@@ -445,8 +474,9 @@ func (e *WeightedEngine) processBucket() bool {
 			e.inR.ClearSparse(e.rset)
 			continue
 		}
-		// Light phases: relax until no claim lands back in this bucket.
-		for len(e.frontier) > 0 {
+		// Light phases: relax until no claim lands back in this bucket
+		// (or the context is cancelled at a phase barrier).
+		for len(e.frontier) > 0 && e.Err() == nil {
 			upd, _ := e.relaxPhase(e.frontier, e.fwords, false)
 			e.frontier = e.frontier[:0]
 			e.fwords = e.fwords[:0]
@@ -457,6 +487,9 @@ func (e *WeightedEngine) processBucket() bool {
 					e.insert(v, d)
 				}
 			}
+		}
+		if e.Err() != nil {
+			return false
 		}
 		// Heavy phase: every settled node offers its heavy edges once, at
 		// its final distance (heavy offers land strictly above this bucket,
@@ -483,7 +516,9 @@ func (e *WeightedEngine) processBucket() bool {
 // SSSP computes single-source shortest-path distances from src into dist
 // (len NumNodes; unreachable nodes get WInf) and returns the weighted
 // eccentricity of src within its component. Distances are identical to
-// Dijkstra's for every delta and worker count.
+// Dijkstra's for every delta and worker count. If the engine's context is
+// cancelled (SetContext) the search stops at the next bucket or phase
+// barrier; the distances are then partial and Err reports the cause.
 func (e *WeightedEngine) SSSP(src NodeID, dist []int64) int64 {
 	e.reset(false)
 	e.addSource(src, 0)
@@ -519,9 +554,13 @@ func (e *WeightedEngine) GrowInit() { e.reset(true) }
 func (e *WeightedEngine) AddSource(u, owner NodeID) { e.addSource(u, owner) }
 
 // ProcessBucket settles the lowest pending bucket. It reports whether any
-// pending bucket held live work, and fails if a packed distance overflowed.
+// pending bucket held live work, and fails if a packed distance overflowed
+// or the engine's context was cancelled (SetContext).
 func (e *WeightedEngine) ProcessBucket() (bool, error) {
 	ok := e.processBucket()
+	if err := e.Err(); err != nil {
+		return ok, err
+	}
 	if e.overflow.Load() {
 		return ok, ErrDistOverflow
 	}

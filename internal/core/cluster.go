@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/graph"
@@ -24,12 +25,23 @@ import (
 // exhausted, and if a batch samples no centers while no cluster can grow,
 // the lowest-id uncovered node is forcibly selected.
 func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	return ClusterContext(context.Background(), g, tau, opt)
+}
+
+// ClusterContext is Cluster with cooperative cancellation: the growth
+// checks ctx at the existing superstep barriers (between rounds and
+// between batches, never inside a round) and returns ctx.Err() within one
+// round of a cancel. Cancellation checks never influence the rounds an
+// uncancelled run executes, so the result stays bit-for-bit deterministic
+// in (seed, tau) across worker counts.
+func ClusterContext(ctx context.Context, g *graph.Graph, tau int, opt Options) (*Clustering, error) {
 	if tau < 1 {
 		return nil, errors.New("core: Cluster requires tau >= 1")
 	}
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	gr := newGrower(g, opt)
+	gr.e.SetContext(ctx)
 
 	logn := log2n(n)
 	threshold := opt.ThresholdFactor * float64(tau) * logn
@@ -37,7 +49,7 @@ func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
 
 	batches := 0
 	var centers []graph.NodeID
-	for float64(gr.uncovered()) >= threshold {
+	for ctx.Err() == nil && float64(gr.uncovered()) >= threshold {
 		uncovered := gr.uncovered()
 		p := opt.CenterFactor * float64(tau) * logn / float64(uncovered)
 		batch := uint64(batches)
@@ -70,6 +82,11 @@ func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
 			}
 			claimed += got
 		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		gr.abort()
+		return nil, err
 	}
 
 	// Remaining uncovered nodes become singleton clusters.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -20,11 +21,17 @@ import (
 // clusters. With high probability the result has O(τ·log⁴n) clusters of
 // maximum radius at most 2·R_ALG·log n (Lemma 2).
 func Cluster2(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
-	pre, err := Cluster(g, tau, opt)
+	return Cluster2Context(context.Background(), g, tau, opt)
+}
+
+// Cluster2Context is Cluster2 with cooperative cancellation, checking ctx
+// at the same superstep barriers as ClusterContext in both phases.
+func Cluster2Context(ctx context.Context, g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	pre, err := ClusterContext(ctx, g, tau, opt)
 	if err != nil {
 		return nil, err
 	}
-	return cluster2With(g, pre.MaxRadius(), opt)
+	return cluster2With(ctx, g, pre.MaxRadius(), opt)
 }
 
 // Cluster2WithRadius runs the second phase of CLUSTER2 with a caller-
@@ -33,13 +40,14 @@ func Cluster2WithRadius(g *graph.Graph, rAlg int32, opt Options) (*Clustering, e
 	if rAlg < 0 {
 		return nil, errors.New("core: negative radius bound")
 	}
-	return cluster2With(g, rAlg, opt)
+	return cluster2With(context.Background(), g, rAlg, opt)
 }
 
-func cluster2With(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) {
+func cluster2With(ctx context.Context, g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) {
 	opt = opt.withDefaults()
 	n := g.NumNodes()
 	gr := newGrower(g, opt)
+	gr.e.SetContext(ctx)
 	seed := rng.Mix64(opt.Seed, 0xc105_7e22, uint64(rAlg))
 
 	iters := int(math.Ceil(log2n(n)))
@@ -48,7 +56,7 @@ func cluster2With(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) 
 	}
 	var centers []graph.NodeID
 	batches := 0
-	for i := 1; i <= iters && gr.uncovered() > 0; i++ {
+	for i := 1; i <= iters && gr.uncovered() > 0 && ctx.Err() == nil; i++ {
 		p := math.Pow(2, float64(i)) / float64(n)
 		if i == iters {
 			p = 1 // final iteration covers every remaining node
@@ -66,6 +74,10 @@ func cluster2With(g *graph.Graph, rAlg int32, opt Options) (*Clustering, error) 
 				break
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		gr.abort()
+		return nil, err
 	}
 	return gr.finish(batches), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"time"
@@ -83,8 +84,10 @@ type DiameterResult struct {
 // decomposing it, building the quotient graph of the clustering, and
 // computing the quotient diameter(s). It returns certified lower and upper
 // bounds DeltaC ≤ ∆ ≤ Upper; with high probability Upper = O(∆·log³n)
-// (Corollary 1), and in practice Upper/∆ < 2 (Section 6.2).
-func ApproxDiameter(g *graph.Graph, opt DiameterOptions) (*DiameterResult, error) {
+// (Corollary 1), and in practice Upper/∆ < 2 (Section 6.2). Cancelling ctx
+// aborts the build — in the clustering phase or between the quotient
+// diameter searches — and returns ctx.Err().
+func ApproxDiameter(ctx context.Context, g *graph.Graph, opt DiameterOptions) (*DiameterResult, error) {
 	start := time.Now()
 	n := g.NumNodes()
 	if n == 0 {
@@ -92,7 +95,7 @@ func ApproxDiameter(g *graph.Graph, opt DiameterOptions) (*DiameterResult, error
 	}
 	tau := opt.Tau
 	if tau <= 0 {
-		tau = defaultDiameterTau(n)
+		tau = DefaultDiameterTau(n)
 	}
 
 	var (
@@ -100,14 +103,14 @@ func ApproxDiameter(g *graph.Graph, opt DiameterOptions) (*DiameterResult, error
 		err error
 	)
 	if opt.UseCluster2 {
-		cl, err = Cluster2(g, tau, opt.Options)
+		cl, err = Cluster2Context(ctx, g, tau, opt.Options)
 	} else {
-		cl, err = Cluster(g, tau, opt.Options)
+		cl, err = ClusterContext(ctx, g, tau, opt.Options)
 	}
 	if err != nil {
 		return nil, err
 	}
-	res, err := diameterFromClustering(cl, opt.ExactBudget, opt.SparsifyThreshold, opt.Seed)
+	res, err := diameterFromClustering(ctx, cl, opt.ExactBudget, opt.SparsifyThreshold, opt.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -119,10 +122,10 @@ func ApproxDiameter(g *graph.Graph, opt DiameterOptions) (*DiameterResult, error
 // decomposition (the clustering phase dominates the cost; this entry point
 // lets experiments reuse one clustering for several analyses).
 func DiameterFromClustering(cl *Clustering, exactBudget int) (*DiameterResult, error) {
-	return diameterFromClustering(cl, exactBudget, 0, 0)
+	return diameterFromClustering(context.Background(), cl, exactBudget, 0, 0)
 }
 
-func diameterFromClustering(cl *Clustering, exactBudget, sparsifyThreshold int, seed uint64) (*DiameterResult, error) {
+func diameterFromClustering(ctx context.Context, cl *Clustering, exactBudget, sparsifyThreshold int, seed uint64) (*DiameterResult, error) {
 	q, wq, err := quotient.BuildWeighted(cl.G, cl.Owner, cl.Dist, cl.NumClusters())
 	if err != nil {
 		return nil, err
@@ -143,8 +146,14 @@ func diameterFromClustering(cl *Clustering, exactBudget, sparsifyThreshold int, 
 	}
 	rMax := cl.MaxRadius()
 
-	deltaC, exact1 := q.ExactDiameter(exactBudget)
-	deltaCW, exact2 := wq.ExactDiameterWeighted(exactBudget)
+	deltaC, exact1, err := q.ExactDiameterContext(ctx, exactBudget)
+	if err != nil {
+		return nil, err
+	}
+	deltaCW, exact2, err := wq.ExactDiameterWeightedContext(ctx, exactBudget)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &DiameterResult{
 		Clustering:       cl,
@@ -168,10 +177,13 @@ func diameterFromClustering(cl *Clustering, exactBudget, sparsifyThreshold int, 
 	return res, nil
 }
 
-// defaultDiameterTau picks a granularity yielding a quotient graph of
-// roughly sqrt(n) clusters: CLUSTER returns O(τ·log²n) clusters, so
-// τ ≈ sqrt(n)/log²n (at least 1).
-func defaultDiameterTau(n int) int {
+// DefaultDiameterTau returns the paper default granularity for diameter
+// estimation over an n-node graph, yielding a quotient graph of roughly
+// sqrt(n) clusters: CLUSTER returns O(τ·log²n) clusters, so
+// τ ≈ sqrt(n)/log²n (at least 1). Exported so the serving layer can
+// resolve parameter-less requests to the same artifact key an explicit
+// request for the default would use.
+func DefaultDiameterTau(n int) int {
 	logn := log2n(n)
 	tau := int(math.Sqrt(float64(n)) / (logn * logn))
 	if tau < 1 {

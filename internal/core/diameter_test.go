@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -8,7 +9,7 @@ import (
 
 func checkDiameterBounds(t *testing.T, name string, g *graph.Graph, opt DiameterOptions) *DiameterResult {
 	t.Helper()
-	res, err := ApproxDiameter(g, opt)
+	res, err := ApproxDiameter(context.Background(), g, opt)
 	if err != nil {
 		t.Fatalf("%s: %v", name, err)
 	}
@@ -53,7 +54,7 @@ func TestApproxDiameterQualityOnLongDiameterGraphs(t *testing.T) {
 		"mesh": graph.Mesh(60, 60),
 		"road": graph.RoadLike(50, 50, 0.4, 3),
 	} {
-		res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 3}})
+		res, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: 3}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -74,7 +75,7 @@ func TestApproxDiameterInsensitiveToGranularity(t *testing.T) {
 	g := graph.RoadLike(40, 40, 0.4, 4)
 	truth, _ := g.ExactDiameter(0)
 	for _, tau := range []int{1, 8} {
-		res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 5}, Tau: tau})
+		res, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: 5}, Tau: tau})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func TestApproxDiameterRoundsSublinearInDiameter(t *testing.T) {
 	// The whole point: on long-diameter graphs the number of growth rounds
 	// is much smaller than ∆ (which is what BFS/HADI need).
 	g := graph.Mesh(80, 80) // diameter 158
-	res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 6}, Tau: 16})
+	res, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: 6}, Tau: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestApproxDiameterRoundsSublinearInDiameter(t *testing.T) {
 
 func TestApproxDiameterDefaults(t *testing.T) {
 	g := graph.BarabasiAlbert(3000, 3, 7)
-	res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 7}})
+	res, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: 7}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,13 +115,13 @@ func TestApproxDiameterDefaults(t *testing.T) {
 }
 
 func TestApproxDiameterEmptyGraph(t *testing.T) {
-	if _, err := ApproxDiameter(graph.NewBuilder(0).Build(), DiameterOptions{}); err == nil {
+	if _, err := ApproxDiameter(context.Background(), graph.NewBuilder(0).Build(), DiameterOptions{}); err == nil {
 		t.Fatal("empty graph should fail")
 	}
 }
 
 func TestApproxDiameterSingleNode(t *testing.T) {
-	res, err := ApproxDiameter(graph.Path(1), DiameterOptions{Options: Options{Seed: 1}})
+	res, err := ApproxDiameter(context.Background(), graph.Path(1), DiameterOptions{Options: Options{Seed: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestApproxDiameterSparsified(t *testing.T) {
 	// Force sparsification with a tiny threshold; the upper bound must stay
 	// certified (and at most a constant looser than the unsparsified one).
 	g := graph.Mesh(40, 40)
-	plain, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: 9}, Tau: 8})
+	plain, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: 9}, Tau: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sp, err := ApproxDiameter(g, DiameterOptions{
+	sp, err := ApproxDiameter(context.Background(), g, DiameterOptions{
 		Options: Options{Seed: 9}, Tau: 8, SparsifyThreshold: 10,
 	})
 	if err != nil {
@@ -182,7 +183,7 @@ func TestApproxDiameterSparsified(t *testing.T) {
 
 func TestApproxDiameterSparsifyThresholdNotReached(t *testing.T) {
 	g := graph.Mesh(20, 20)
-	res, err := ApproxDiameter(g, DiameterOptions{
+	res, err := ApproxDiameter(context.Background(), g, DiameterOptions{
 		Options: Options{Seed: 10}, Tau: 2, SparsifyThreshold: 1 << 30,
 	})
 	if err != nil {
@@ -194,10 +195,10 @@ func TestApproxDiameterSparsifyThresholdNotReached(t *testing.T) {
 }
 
 func TestDefaultDiameterTau(t *testing.T) {
-	if defaultDiameterTau(10) < 1 {
+	if DefaultDiameterTau(10) < 1 {
 		t.Fatal("tau must be at least 1")
 	}
-	if defaultDiameterTau(1_000_000) <= defaultDiameterTau(1000) {
+	if DefaultDiameterTau(1_000_000) <= DefaultDiameterTau(1000) {
 		t.Fatal("tau should grow with n")
 	}
 }

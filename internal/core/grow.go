@@ -117,6 +117,10 @@ func (gr *grower) selectUncovered(dst []graph.NodeID, pick func(u graph.NodeID) 
 	return dst
 }
 
+// abort releases the engine's worker pool without producing a clustering —
+// the exit path of a cancelled build, which must not leak pool goroutines.
+func (gr *grower) abort() { gr.e.Close() }
+
 // finish freezes the grower into a Clustering, computing per-cluster radii,
 // and releases the engine's worker pool.
 func (gr *grower) finish(batches int) *Clustering {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -32,8 +33,12 @@ type KCenterResult struct {
 // The approximation factor is O(log³n) with high probability; empirically
 // the radius is within a small constant of the Gonzalez 2-approximation.
 //
-// k must be at least the number of connected components of g.
-func KCenter(g *graph.Graph, k int, opt Options) (*KCenterResult, error) {
+// k must be at least the number of connected components of g. Cancelling
+// ctx aborts the decomposition at the next superstep barrier and returns
+// ctx.Err(); the final exact radius evaluation (a single multi-source BFS
+// pass, comparable in cost to one superstep over the whole graph) runs to
+// completion once started.
+func KCenter(ctx context.Context, g *graph.Graph, k int, opt Options) (*KCenterResult, error) {
 	n := g.NumNodes()
 	if k < 1 {
 		return nil, errors.New("core: KCenter requires k >= 1")
@@ -46,7 +51,7 @@ func KCenter(g *graph.Graph, k int, opt Options) (*KCenterResult, error) {
 	if tau < 1 {
 		tau = 1
 	}
-	cl, err := Cluster(g, tau, opt)
+	cl, err := ClusterContext(ctx, g, tau, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +64,9 @@ func KCenter(g *graph.Graph, k int, opt Options) (*KCenterResult, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	radius, err := EvalCenters(g, res.Centers)
 	if err != nil {

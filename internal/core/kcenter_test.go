@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gonzalez"
@@ -9,7 +10,7 @@ import (
 
 func TestKCenterBasic(t *testing.T) {
 	g := graph.Mesh(30, 30)
-	res, err := KCenter(g, 20, Options{Seed: 1})
+	res, err := KCenter(context.Background(), g, 20, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestKCenterBasic(t *testing.T) {
 
 func TestKCenterMatchesEvalCenters(t *testing.T) {
 	g := graph.RoadLike(25, 25, 0.4, 2)
-	res, err := KCenter(g, 12, Options{Seed: 3})
+	res, err := KCenter(context.Background(), g, 12, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestKCenterCompetitiveWithGonzalez(t *testing.T) {
 		"social": graph.BarabasiAlbert(2000, 4, 6),
 	} {
 		k := 25
-		res, err := KCenter(g, k, Options{Seed: 7})
+		res, err := KCenter(context.Background(), g, k, Options{Seed: 7})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -67,7 +68,7 @@ func TestKCenterMergePathTriggers(t *testing.T) {
 	// Small k forces tau=1 which still yields O(log²n) clusters > k, so the
 	// spanning-forest merge must run and still respect the budget.
 	g := graph.Mesh(40, 40)
-	res, err := KCenter(g, 5, Options{Seed: 4})
+	res, err := KCenter(context.Background(), g, 5, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,10 +81,10 @@ func TestKCenterMergePathTriggers(t *testing.T) {
 }
 
 func TestKCenterErrors(t *testing.T) {
-	if _, err := KCenter(graph.Path(5), 0, Options{}); err == nil {
+	if _, err := KCenter(context.Background(), graph.Path(5), 0, Options{}); err == nil {
 		t.Fatal("k=0 should fail")
 	}
-	if _, err := KCenter(graph.NewBuilder(0).Build(), 1, Options{}); err == nil {
+	if _, err := KCenter(context.Background(), graph.NewBuilder(0).Build(), 1, Options{}); err == nil {
 		t.Fatal("empty graph should fail")
 	}
 }
@@ -97,7 +98,7 @@ func TestKCenterDisconnectedInfeasible(t *testing.T) {
 		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
 	g := b.Build()
-	if _, err := KCenter(g, 1, Options{Seed: 1}); err == nil {
+	if _, err := KCenter(context.Background(), g, 1, Options{Seed: 1}); err == nil {
 		t.Fatal("k=1 on a 2-component graph should fail")
 	}
 }
@@ -111,7 +112,7 @@ func TestKCenterDisconnectedFeasible(t *testing.T) {
 		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
 	g := b.Build()
-	res, err := KCenter(g, 6, Options{Seed: 2})
+	res, err := KCenter(context.Background(), g, 6, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,7 +47,9 @@ const maxOracleClusters = 8192
 // BuildOracle constructs a distance oracle over g. If tau <= 0,
 // DefaultOracleTau is used. useCluster2 selects the theory-faithful
 // decomposition (slower; plain CLUSTER matches the experimental pipeline).
-func BuildOracle(g *graph.Graph, tau int, useCluster2 bool, opt Options) (*Oracle, error) {
+// Cancelling ctx aborts the build at the next superstep (or, in the APSP
+// phase, bucket) barrier and returns ctx.Err().
+func BuildOracle(ctx context.Context, g *graph.Graph, tau int, useCluster2 bool, opt Options) (*Oracle, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("core: oracle over empty graph")
@@ -59,14 +62,14 @@ func BuildOracle(g *graph.Graph, tau int, useCluster2 bool, opt Options) (*Oracl
 		err error
 	)
 	if useCluster2 {
-		cl, err = Cluster2(g, tau, opt)
+		cl, err = Cluster2Context(ctx, g, tau, opt)
 	} else {
-		cl, err = Cluster(g, tau, opt)
+		cl, err = ClusterContext(ctx, g, tau, opt)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return OracleFromClustering(cl, opt)
+	return OracleFromClustering(ctx, cl, opt)
 }
 
 // OracleFromClustering builds the oracle tables from an existing
@@ -75,8 +78,10 @@ func BuildOracle(g *graph.Graph, tau int, useCluster2 bool, opt Options) (*Oracl
 // its own delta-stepping engine for the weighted rows — source-level
 // parallelism on top of (and compounding with) the parallel relaxation
 // inside each search. The row contents are identical to the sequential
-// Dijkstra+BFS build for every worker count.
-func OracleFromClustering(cl *Clustering, opt Options) (*Oracle, error) {
+// Dijkstra+BFS build for every worker count. Cancelling ctx stops every
+// worker at its next source (or mid-search bucket) boundary and returns
+// ctx.Err().
+func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Oracle, error) {
 	k := cl.NumClusters()
 	if k > maxOracleClusters {
 		return nil, fmt.Errorf("core: %d clusters exceed the oracle cap %d; lower tau", k, maxOracleClusters)
@@ -104,14 +109,20 @@ func OracleFromClustering(cl *Clustering, opt Options) (*Oracle, error) {
 			// One sequential engine per goroutine: the parallelism budget
 			// is already spent on the source fan-out.
 			e := bsp.NewWeightedEngine(wq, 1, opt.Delta)
+			e.SetContext(ctx)
 			defer e.Close()
-			for {
+			for ctx.Err() == nil {
 				c := int(next.Add(1)) - 1
 				if c >= k {
 					break
 				}
 				row := make([]int64, k)
 				e.SSSP(graph.NodeID(c), row)
+				if e.Err() != nil {
+					// Cancelled mid-search: the row is partial, and the
+					// whole build is about to be discarded.
+					break
+				}
 				apsp[c] = row
 				hop := q.BFS(graph.NodeID(c))
 				hrow := make([]int64, k)
@@ -130,6 +141,9 @@ func OracleFromClustering(cl *Clustering, opt Options) (*Oracle, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return &Oracle{clustering: cl, apsp: apsp, hops: hops, apspStats: stats}, nil
 }
 

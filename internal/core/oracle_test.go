@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -13,7 +14,7 @@ func TestOracleUpperBoundsTrueDistance(t *testing.T) {
 		"social": graph.BarabasiAlbert(1500, 3, 2),
 		"road":   graph.RoadLike(25, 25, 0.4, 3),
 	} {
-		o, err := BuildOracle(g, 2, false, Options{Seed: 1})
+		o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 1})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -35,7 +36,7 @@ func TestOracleApproximationQuality(t *testing.T) {
 	// d'(u,v) = O(d(u,v)·log³n + R_ALG2): check a generous concrete version
 	// of that bound on a mesh.
 	g := graph.Mesh(40, 40)
-	o, err := BuildOracle(g, 2, false, Options{Seed: 2})
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestOracleApproximationQuality(t *testing.T) {
 
 func TestOracleIdentityAndSymmetry(t *testing.T) {
 	g := graph.Mesh(20, 20)
-	o, err := BuildOracle(g, 2, false, Options{Seed: 3})
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestOracleDisconnected(t *testing.T) {
 		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
 	g := b.Build()
-	o, err := BuildOracle(g, 2, false, Options{Seed: 4})
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestOracleDisconnected(t *testing.T) {
 
 func TestOracleCluster2Variant(t *testing.T) {
 	g := graph.Mesh(25, 25)
-	o, err := BuildOracle(g, 2, true, Options{Seed: 5})
+	o, err := BuildOracle(context.Background(), g, 2, true, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestOracleCapEnforced(t *testing.T) {
 		cl.Owner[i] = graph.NodeID(i)
 		cl.Centers[i] = graph.NodeID(i)
 	}
-	if _, err := OracleFromClustering(cl, Options{}); err == nil {
+	if _, err := OracleFromClustering(context.Background(), cl, Options{}); err == nil {
 		t.Fatal("oracle cap should reject huge quotient graphs")
 	}
 }
@@ -134,13 +135,13 @@ func TestOracleFanOutMatchesSequentialBuild(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := OracleFromClustering(cl, Options{Workers: 1})
+	ref, err := OracleFromClustering(context.Background(), cl, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	k := ref.NumClusters()
 	for _, workers := range []int{4, 8} {
-		o, err := OracleFromClustering(cl, Options{Workers: workers})
+		o, err := OracleFromClustering(context.Background(), cl, Options{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +160,7 @@ func TestOracleFanOutMatchesSequentialBuild(t *testing.T) {
 
 func TestOracleLowerQueryBoundsTruth(t *testing.T) {
 	g := graph.Mesh(25, 25)
-	o, err := BuildOracle(g, 2, false, Options{Seed: 10})
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestOracleLowerQueryDisconnected(t *testing.T) {
 	for i := 5; i < 9; i++ {
 		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
 	}
-	o, err := BuildOracle(b.Build(), 2, false, Options{Seed: 11})
+	o, err := BuildOracle(context.Background(), b.Build(), 2, false, Options{Seed: 11})
 	if err != nil {
 		t.Fatal(err)
 	}

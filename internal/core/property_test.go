@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -59,7 +60,7 @@ func TestPropertyCluster2AlwaysValidPartition(t *testing.T) {
 func TestPropertyDiameterBoundsAlwaysBracket(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := randomConnected(seed)
-		res, err := ApproxDiameter(g, DiameterOptions{Options: Options{Seed: seed}, Tau: 2})
+		res, err := ApproxDiameter(context.Background(), g, DiameterOptions{Options: Options{Seed: seed}, Tau: 2})
 		if err != nil {
 			return false
 		}
@@ -101,7 +102,7 @@ func TestPropertyKCenterRadiusAtLeastOptimalHalfGonzalez(t *testing.T) {
 	f := func(seed uint64) bool {
 		g := randomConnected(seed)
 		k := 2 + int(seed%5)
-		res, err := KCenter(g, k, Options{Seed: seed})
+		res, err := KCenter(context.Background(), g, k, Options{Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -116,7 +117,7 @@ func TestPropertyOracleSandwich(t *testing.T) {
 	// LowerQuery <= true distance <= Query for random graphs and pairs.
 	f := func(seed uint64) bool {
 		g := randomConnected(seed)
-		o, err := BuildOracle(g, 1, false, Options{Seed: seed})
+		o, err := BuildOracle(context.Background(), g, 1, false, Options{Seed: seed})
 		if err != nil {
 			return false
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -130,6 +131,15 @@ func (c *WeightedClustering) Validate() error {
 // deterministic for a given seed: identical centers, owners, and radii at
 // every worker count.
 func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedClustering, error) {
+	return WeightedClusterContext(context.Background(), wg, tau, opt)
+}
+
+// WeightedClusterContext is WeightedCluster with cooperative cancellation:
+// the growth checks ctx at the existing bucket barriers and returns
+// ctx.Err() within one relaxation phase of a cancel. The checks never
+// influence the bucket schedule of an uncancelled run, preserving the
+// bit-for-bit worker-count determinism.
+func WeightedClusterContext(ctx context.Context, wg *graph.Weighted, tau int, opt Options) (*WeightedClustering, error) {
 	if tau < 1 {
 		return nil, errors.New("core: WeightedCluster requires tau >= 1")
 	}
@@ -142,6 +152,7 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 
 	e := bsp.NewWeightedEngine(wg, opt.Workers, opt.Delta)
 	defer e.Close()
+	e.SetContext(ctx)
 	e.GrowInit()
 
 	var centers []graph.NodeID
@@ -158,7 +169,7 @@ func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedCluster
 	logn := log2n(n)
 	threshold := opt.ThresholdFactor * float64(tau) * logn
 	batch := 0
-	for float64(n-e.SettledCount()) >= threshold {
+	for ctx.Err() == nil && float64(n-e.SettledCount()) >= threshold {
 		uncovered := n - e.SettledCount()
 		p := opt.CenterFactor * float64(tau) * logn / float64(uncovered)
 		selected := 0
@@ -305,7 +316,7 @@ type WeightedDiameterResult struct {
 // on the parallel delta-stepping engine.
 func ApproxDiameterWeighted(wg *graph.Weighted, tau int, opt Options) (*WeightedDiameterResult, error) {
 	if tau <= 0 {
-		tau = defaultDiameterTau(wg.NumNodes())
+		tau = DefaultDiameterTau(wg.NumNodes())
 	}
 	wc, err := WeightedCluster(wg, tau, opt)
 	if err != nil {

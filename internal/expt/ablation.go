@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -109,13 +110,13 @@ func PipelineAblation(cfg Config) ([]PipelineRow, error) {
 		g := d.Build(cfg.scale())
 		truth, _ := TrueDiameter(d, cfg.scale(), g)
 		tau := 4
-		r1, err := core.ApproxDiameter(g, core.DiameterOptions{
+		r1, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{
 			Options: core.Options{Seed: cfg.Seed, Workers: cfg.Workers}, Tau: tau,
 		})
 		if err != nil {
 			return nil, err
 		}
-		r2, err := core.ApproxDiameter(g, core.DiameterOptions{
+		r2, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{
 			Options: core.Options{Seed: cfg.Seed, Workers: cfg.Workers}, Tau: tau,
 			UseCluster2: true,
 		})

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/anf"
@@ -87,7 +88,7 @@ func ClusterCost(cfg Config, g *graph.Graph, target int) (*AlgoCost, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.ApproxDiameter(g, core.DiameterOptions{Options: opt, Tau: tau})
+	res, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{Options: opt, Tau: tau})
 	if err != nil {
 		return nil, err
 	}

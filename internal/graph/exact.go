@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -55,9 +56,20 @@ func engineBFSInto(e *bsp.Engine, src NodeID, dist []int32) int32 {
 // maxBFS bounds the number of BFS runs (0 means unlimited); if the bound is
 // hit, the result is the best lower bound found and exact is false.
 func (g *Graph) ExactDiameter(maxBFS int) (diam int32, exact bool) {
+	// A background context never cancels, so the error is unreachable.
+	diam, exact, _ = g.ExactDiameterContext(context.Background(), maxBFS)
+	return diam, exact
+}
+
+// ExactDiameterContext is ExactDiameter with cooperative cancellation: the
+// iFUB loop checks ctx at every search boundary (and its shared engine
+// stops at superstep barriers within a search), returning ctx.Err() with
+// the bounds discarded. The serving layer uses it so an abandoned diameter
+// build does not keep burning Θ(n) BFS runs.
+func (g *Graph) ExactDiameterContext(ctx context.Context, maxBFS int) (diam int32, exact bool, err error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return 0, true
+		return 0, true, nil
 	}
 	labels, k := g.ConnectedComponents()
 	if k > 1 {
@@ -66,21 +78,31 @@ func (g *Graph) ExactDiameter(maxBFS int) (diam int32, exact bool) {
 		for c := 0; c < k; c++ {
 			cc := int32(c)
 			sub, _ := g.inducedSubgraph(func(u NodeID) bool { return labels[u] == cc }, 0)
-			d, ex := sub.ExactDiameter(maxBFS)
+			d, ex, err := sub.ExactDiameterContext(ctx, maxBFS)
+			if err != nil {
+				return 0, false, err
+			}
 			if d > diam {
 				diam = d
 			}
 			exact = exact && ex
 		}
-		return diam, exact
+		return diam, exact, nil
 	}
-	return g.ifub(maxBFS)
+	return g.ifub(ctx, maxBFS)
 }
 
-func (g *Graph) ifub(maxBFS int) (int32, bool) {
+func (g *Graph) ifub(ctx context.Context, maxBFS int) (int32, bool, error) {
 	n := g.NumNodes()
 	budget := maxBFS
+	// spend gates each search: false on a cancelled context or an exhausted
+	// budget. Every `if !spend()` return passes ctx.Err() through, so the
+	// cancelled case surfaces as an error and the budget case as an inexact
+	// (lower-bound) result.
 	spend := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		if maxBFS == 0 {
 			return true
 		}
@@ -92,6 +114,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	}
 
 	e := bsp.NewEngine(g, 0)
+	e.SetContext(ctx)
 	defer e.Close()
 	dist := make([]int32, n)
 	reset := func() {
@@ -109,13 +132,13 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	// exactly that failure mode.
 	_, start := g.MaxDegree()
 	if !spend() {
-		return 0, false
+		return 0, false, ctx.Err()
 	}
 	reset()
 	engineBFSInto(e, start, dist)
 	a := argMax32(dist)
 	if !spend() {
-		return 0, false
+		return 0, false, ctx.Err()
 	}
 	distA := make([]int32, n)
 	for i := range distA {
@@ -136,7 +159,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 		}
 	}
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	reset()
 	eccR1 := engineBFSInto(e, r1, dist)
@@ -145,7 +168,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	}
 	c := argMax32(dist)
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	distC := make([]int32, n)
 	for i := range distC {
@@ -161,7 +184,7 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	// argmin-max over just the two still lands on the boundary; adding b
 	// pins the root to the true center.
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	distB := make([]int32, n)
 	for i := range distB {
@@ -192,10 +215,16 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	}
 
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	reset()
 	eccR := engineBFSInto(e, r, dist)
+	if err := e.Err(); err != nil {
+		// The root BFS orders the whole scan: truncated distances would
+		// leave unreached nodes at -1, which the decreasing sort places at
+		// pruning levels they have not earned. Bail before using them.
+		return lower, false, err
+	}
 	if eccR > lower {
 		lower = eccR
 	}
@@ -214,25 +243,33 @@ func (g *Graph) ifub(maxBFS int) (int32, bool) {
 	for i < n {
 		level := distR[order[i]]
 		if 2*level <= lower {
-			return lower, true
+			return lower, true, nil
 		}
 		for i < n && distR[order[i]] == level {
 			u := order[i]
 			i++
 			if !spend() {
-				return lower, false
+				return lower, false, ctx.Err()
 			}
 			reset()
 			ecc := engineBFSInto(e, u, dist)
+			if err := e.Err(); err != nil {
+				// Truncated BFS: its partial eccentricity is a valid lower
+				// bound, but this vertex now counts as scanned without its
+				// true eccentricity, so exactness can no longer be
+				// certified — neither by the early exits nor the final
+				// return.
+				return lower, false, err
+			}
 			if ecc > lower {
 				lower = ecc
 				if 2*level <= lower {
-					return lower, true
+					return lower, true, nil
 				}
 			}
 		}
 	}
-	return lower, true
+	return lower, true, nil
 }
 
 func argMax32(dist []int32) NodeID {
@@ -263,14 +300,30 @@ func argMax64(dist []int64) NodeID {
 // returned value is a lower bound and exact is false. Disconnected graphs
 // return the max over components (unreachable pairs are ignored).
 func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact bool) {
+	// A background context never cancels, so the error is unreachable.
+	diam, exact, _ = g.ExactDiameterWeightedContext(context.Background(), maxSearches)
+	return diam, exact
+}
+
+// ExactDiameterWeightedContext is ExactDiameterWeighted with cooperative
+// cancellation, checking ctx at every search boundary (and, through the
+// shared engine, at bucket barriers within a search); a cancelled run
+// returns ctx.Err() with the bounds discarded.
+func (g *Weighted) ExactDiameterWeightedContext(ctx context.Context, maxSearches int) (diam int64, exact bool, err error) {
 	n := g.NumNodes()
 	if n == 0 {
-		return 0, true
+		return 0, true, nil
 	}
 	e := bsp.NewWeightedEngine(g, 0, 0)
+	e.SetContext(ctx)
 	defer e.Close()
 	budget := maxSearches
+	// As in ifub: false on cancellation or budget exhaustion; the returns
+	// pass ctx.Err() through to tell the two apart.
 	spend := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		if maxSearches == 0 {
 			return true
 		}
@@ -290,6 +343,16 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 		}
 		return arg
 	}
+	// search runs one SSSP and fails if the engine was cancelled mid-run.
+	// Unlike a truncated BFS, a truncated delta-stepping search is not a
+	// safe underestimate: its claimed slots may hold tentative (unsettled)
+	// distances that OVERESTIMATE the true ones, so folding its
+	// eccentricity into the lower bound could certify a wrong diameter.
+	// Every call site must discard the result on error.
+	search := func(src NodeID, d []int64) (int64, error) {
+		ecc := e.SSSP(src, d)
+		return ecc, e.Err()
+	}
 
 	// 4-sweep root selection, mirroring the unweighted variant: two double
 	// sweeps yield far extremes a and c; the root minimizes max(d_a, d_c),
@@ -299,15 +362,20 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	// geodesics that a corner start can produce.
 	_, start := g.MaxDegree()
 	if !spend() {
-		return 0, false
+		return 0, false, ctx.Err()
 	}
-	e.SSSP(start, dist)
+	if _, err := search(start, dist); err != nil {
+		return 0, false, err
+	}
 	a := argMax()
 	if !spend() {
-		return 0, false
+		return 0, false, ctx.Err()
 	}
 	distA := make([]int64, n)
-	lower := e.SSSP(a, distA)
+	lower, err := search(a, distA)
+	if err != nil {
+		return 0, false, err
+	}
 	b := argMax64(distA)
 
 	// First midpoint: walk back from b toward a along the shortest path.
@@ -328,25 +396,31 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 		}
 	}
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
-	if ecc := e.SSSP(r1, dist); ecc > lower {
+	if ecc, err := search(r1, dist); err != nil {
+		return lower, false, err
+	} else if ecc > lower {
 		lower = ecc
 	}
 	c := argMax()
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	distC := make([]int64, n)
-	if ecc := e.SSSP(c, distC); ecc > lower {
+	if ecc, err := search(c, distC); err != nil {
+		return lower, false, err
+	} else if ecc > lower {
 		lower = ecc
 	}
 
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
 	distB := make([]int64, n)
-	if ecc := e.SSSP(b, distB); ecc > lower {
+	if ecc, err := search(b, distB); err != nil {
+		return lower, false, err
+	} else if ecc > lower {
 		lower = ecc
 	}
 
@@ -370,9 +444,11 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 	}
 
 	if !spend() {
-		return lower, false
+		return lower, false, ctx.Err()
 	}
-	if ecc := e.SSSP(r, dist); ecc > lower {
+	if ecc, err := search(r, dist); err != nil {
+		return lower, false, err
+	} else if ecc > lower {
 		lower = ecc
 	}
 	distR := make([]int64, n)
@@ -392,29 +468,33 @@ func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact boo
 			u := order[i]
 			i++
 			if !spend() {
-				return lower, false
+				return lower, false, ctx.Err()
 			}
-			if ecc := e.SSSP(u, dist); ecc > lower {
+			if ecc, err := search(u, dist); err != nil {
+				return lower, false, err
+			} else if ecc > lower {
 				lower = ecc
 			}
 			continue
 		}
 		if 2*level <= lower {
-			return lower, true
+			return lower, true, nil
 		}
 		for i < n && distR[order[i]] == level {
 			u := order[i]
 			i++
 			if !spend() {
-				return lower, false
+				return lower, false, ctx.Err()
 			}
-			if ecc := e.SSSP(u, dist); ecc > lower {
+			if ecc, err := search(u, dist); err != nil {
+				return lower, false, err
+			} else if ecc > lower {
 				lower = ecc
 				if 2*level <= lower {
-					return lower, true
+					return lower, true, nil
 				}
 			}
 		}
 	}
-	return lower, true
+	return lower, true, nil
 }

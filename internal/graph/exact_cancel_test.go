@@ -1,0 +1,34 @@
+package graph
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// The shared-engine iFUB paths must honor cancellation at their search
+// boundaries and report it as an error — distinct from the budget-
+// exhausted inexact result, which stays error-free.
+func TestExactDiameterContextCancelled(t *testing.T) {
+	g := Mesh(25, 25)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.ExactDiameterContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExactDiameterContext err = %v, want context.Canceled", err)
+	}
+
+	edges := g.EdgeList()
+	ws := make([]int32, len(edges))
+	for i := range ws {
+		ws[i] = 1
+	}
+	wg := MustWeighted(g.NumNodes(), edges, ws)
+	if _, _, err := wg.ExactDiameterWeightedContext(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ExactDiameterWeightedContext err = %v, want context.Canceled", err)
+	}
+
+	// Budget exhaustion (no cancellation) still reports inexact, not error.
+	if _, exact, err := g.ExactDiameterContext(context.Background(), 1); err != nil || exact {
+		t.Fatalf("budget-limited run: exact=%v err=%v, want inexact and no error", exact, err)
+	}
+}

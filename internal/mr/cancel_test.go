@@ -1,0 +1,54 @@
+package mr
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// A cancelled context fails the round at the barrier with ctx.Err() and —
+// like a failed memory probe — leaves every counter and the round log
+// untouched, so a cancelled build cannot pollute a resource report.
+func TestRoundCancelledContextLeavesAccountingUntouched(t *testing.T) {
+	e := NewEngine(Config{})
+	defer e.Close()
+
+	in := []Pair{{Key: 1, A: 1}, {Key: 2, A: 2}}
+	if _, err := e.Round(in, func(key uint64, pairs []Pair, emit Emitter) {
+		emit(pairs[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rounds, shuffled := e.Rounds(), e.TotalShuffled()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.SetContext(ctx)
+	out, err := e.Round(in, func(key uint64, pairs []Pair, emit Emitter) {
+		t.Error("reducer ran under a cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Round err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled Round returned output %v", out)
+	}
+	if e.Rounds() != rounds || e.TotalShuffled() != shuffled {
+		t.Fatalf("cancelled Round committed accounting: rounds %d->%d shuffled %d->%d",
+			rounds, e.Rounds(), shuffled, e.TotalShuffled())
+	}
+	if got := len(e.RoundStats()); got != rounds {
+		t.Fatalf("cancelled Round appended a RoundStat (%d entries for %d rounds)", got, rounds)
+	}
+
+	// Re-arming with a live context resumes normal operation.
+	e.SetContext(context.Background())
+	if _, err := e.Round(in, func(key uint64, pairs []Pair, emit Emitter) {
+		emit(pairs[0])
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Rounds() != rounds+1 {
+		t.Fatalf("rounds = %d after resume, want %d", e.Rounds(), rounds+1)
+	}
+}

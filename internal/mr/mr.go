@@ -39,6 +39,7 @@
 package mr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -92,6 +93,9 @@ type Engine struct {
 	shards int
 	pool   *bsp.Pool
 
+	// ctx arms cooperative cancellation (SetContext); nil never cancels.
+	ctx context.Context
+
 	rounds       int
 	maxGroup     int
 	maxGlobal    int64
@@ -113,6 +117,20 @@ func (e *Engine) Close() {
 		e.pool.Close()
 		e.pool = nil
 	}
+}
+
+// SetContext arms cooperative cancellation: every subsequent Round checks
+// ctx at the round barrier and fails with ctx.Err() before doing any work
+// or touching the accounting, so a multi-round algorithm (growth steps,
+// repeated squaring) stops within one round of a cancel. A nil ctx (the
+// default) never cancels.
+func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+func (e *Engine) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
 }
 
 // Rounds returns the number of rounds executed so far.
@@ -258,8 +276,13 @@ func runShard(ml int64, pairs []Pair, res *shardResult, reduce Reducer) {
 // each group is handed to reduce. It returns the output pairs assembled in
 // ascending key-group order (emission order within a group), which is
 // independent of the shard count. Counters are committed only if the round
-// passes both memory checks.
+// passes both memory checks and the engine's context (SetContext) is not
+// cancelled — a cancelled round fails with ctx.Err() and leaves the
+// accounting untouched, exactly like a failed memory probe.
 func (e *Engine) Round(input []Pair, reduce Reducer) ([]Pair, error) {
+	if err := e.ctxErr(); err != nil {
+		return nil, err
+	}
 	if e.cfg.MG > 0 && int64(len(input)) > e.cfg.MG {
 		return nil, fmt.Errorf("%w: %d > %d", ErrGlobalMemory, len(input), e.cfg.MG)
 	}

@@ -79,7 +79,7 @@ func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 			case errors.As(err, &he):
 				status = he.status
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
-				errors.Is(err, ErrCacheFull):
+				errors.Is(err, ErrCacheFull), errors.Is(err, ErrShuttingDown):
 				status = http.StatusServiceUnavailable
 			case errors.Is(err, ErrUnknownGraph):
 				status = http.StatusNotFound

@@ -21,6 +21,7 @@ type metrics struct {
 	evictions atomic.Int64 // artifacts dropped by the LRU cache bound
 	rejected  atomic.Int64 // requests cancelled while queued for a worker
 	inFlight  atomic.Int64 // requests currently holding a worker slot
+	cancelled atomic.Int64 // builds cancelled after their last waiter left
 }
 
 // buildTimer returns a stop closure that records the build in the
@@ -51,9 +52,12 @@ type Stats struct {
 	Evictions      int64   `json:"evictions"`
 	Rejected       int64   `json:"rejected"`
 	InFlight       int64   `json:"in_flight"`
-	Workers        int     `json:"workers"`
-	Graphs         int     `json:"graphs"`
-	Artifacts      int     `json:"artifacts"`
+	// CancelledBuilds counts detached builds stopped mid-flight because
+	// their last waiter disconnected (or the server shut down).
+	CancelledBuilds int64 `json:"cancelled_builds"`
+	Workers         int   `json:"workers"`
+	Graphs          int   `json:"graphs"`
+	Artifacts       int   `json:"artifacts"`
 	// ArtifactDetails lists the build cost of every completed cached
 	// artifact (BSP rounds with the bottom-up share, messages, max
 	// frontier, build wall-clock), sorted by key for stable output.
@@ -64,17 +68,18 @@ type Stats struct {
 func (s *Server) Stats() Stats {
 	m := &s.met
 	st := Stats{
-		Requests:    m.requests.Load(),
-		Errors:      m.errors.Load(),
-		Queries:     m.queries.Load(),
-		CacheHits:   m.hits.Load(),
-		CacheMisses: m.misses.Load(),
-		Builds:      m.builds.Load(),
-		Installs:    m.installs.Load(),
-		Evictions:   m.evictions.Load(),
-		Rejected:    m.rejected.Load(),
-		InFlight:    m.inFlight.Load(),
-		Workers:     s.cfg.Workers,
+		Requests:        m.requests.Load(),
+		Errors:          m.errors.Load(),
+		Queries:         m.queries.Load(),
+		CacheHits:       m.hits.Load(),
+		CacheMisses:     m.misses.Load(),
+		Builds:          m.builds.Load(),
+		Installs:        m.installs.Load(),
+		Evictions:       m.evictions.Load(),
+		Rejected:        m.rejected.Load(),
+		InFlight:        m.inFlight.Load(),
+		CancelledBuilds: m.cancelled.Load(),
+		Workers:         s.cfg.Workers,
 	}
 	if st.Queries > 0 {
 		st.AvgQueryMicros = float64(m.queryNs.Load()) / float64(st.Queries) / 1e3

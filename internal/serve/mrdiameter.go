@@ -41,25 +41,22 @@ type MRDiameterResult struct {
 
 // MRDiameter returns the cached MR-runtime diameter artifact for the
 // graph, building it on first use. tau <= 0 resolves like the oracle
-// default. The MR round accounting is surfaced per artifact in /stats.
+// default (via the shared resolveTau helper, so the resolved value is what
+// gets keyed and reported). The MR round accounting is surfaced per
+// artifact in /stats.
 func (s *Server) MRDiameter(ctx context.Context, name string, tau int, seed uint64) (*MRDiameterResult, error) {
 	g, err := s.Graph(name)
 	if err != nil {
 		return nil, err
 	}
-	if tau <= 0 {
-		tau = s.cfg.DefaultTau
-	}
-	if tau <= 0 {
-		tau = core.DefaultOracleTau(g.NumNodes())
-	}
+	tau = s.resolveTau(tau, g, core.DefaultOracleTau)
 	key := Key{Graph: name, Kind: "mrdiameter", Tau: tau, Seed: seed, Algorithm: "cluster"}
-	v, err := s.artifact(ctx, key, func() (any, error) {
+	v, err := s.artifact(ctx, key, func(bctx context.Context) (any, error) {
 		g, err := s.Graph(key.Graph)
 		if err != nil {
 			return nil, err
 		}
-		cl, err := core.Cluster(g, key.Tau, s.buildOptions(seed))
+		cl, err := core.ClusterContext(bctx, g, key.Tau, s.buildOptions(seed))
 		if err != nil {
 			return nil, err
 		}
@@ -72,6 +69,7 @@ func (s *Server) MRDiameter(ctx context.Context, name string, tau int, seed uint
 				wq.NumNodes(), maxMRQuotient)
 		}
 		eng := mr.NewEngine(mr.Config{Shards: s.cfg.BuildWorkers})
+		eng.SetContext(bctx)
 		defer eng.Close()
 		diam, err := eng.DiameterByRepeatedSquaring(wq)
 		if err != nil {

@@ -9,8 +9,17 @@
 // (graph, τ, seed, algorithm), deduplicates concurrent builds of the same
 // key single-flight style, and bounds total build+query concurrency with a
 // worker pool so a traffic spike degrades to queueing instead of memory
-// blow-up. Artifacts persisted with internal/snapshot can be installed at
-// startup, so a restart skips the rebuild entirely.
+// blow-up. Builds run detached, on their own goroutine under their own
+// context and bounded by a build pool of the same size, with the requests
+// for the key counted as waiters: a request that disconnects frees its
+// worker slot immediately, and when the last waiter for an in-flight
+// build leaves, the build's context is cancelled and the engines stop at
+// their next round/bucket/shard barrier — a dropped request never leaves
+// a multi-second decomposition burning cores for nobody. A cancelled build's cache entry is removed, so the key is
+// immediately retryable. Artifacts persisted with internal/snapshot can be
+// installed at startup, so a restart skips the rebuild entirely; Shutdown
+// cancels the in-flight builds and drains their goroutines for a graceful
+// exit.
 package serve
 
 import (
@@ -21,6 +30,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bsp"
 	"repro/internal/core"
@@ -83,6 +93,11 @@ func (k Key) String() string {
 // cache slot holds an in-flight build; the HTTP layer maps it to 503.
 var ErrCacheFull = errors.New("serve: artifact cache full of in-flight builds")
 
+// ErrShuttingDown is returned for build requests arriving after Shutdown
+// began. Completed artifacts remain queryable; only new builds are
+// rejected, so the drain cannot be extended indefinitely by fresh traffic.
+var ErrShuttingDown = errors.New("serve: server shutting down")
+
 // ArtifactCost is the per-artifact build cost surfaced by /stats: what the
 // decomposition behind a cached artifact spent, in the paper's own cost
 // units (BSP rounds and arcs-scanned messages) plus wall-clock. PullRounds
@@ -114,16 +129,25 @@ type ArtifactCost struct {
 
 // entry is a cache slot. ready is closed when val/err are set; concurrent
 // requests for an in-flight key block on it instead of duplicating the
-// build (single flight). lastUsed is the server's logical clock at the
-// entry's most recent touch, driving LRU eviction; completed entries are
-// recognized by their closed ready channel. cost is written once before
-// ready closes and read only by Stats afterwards.
+// build (single flight). The build itself runs detached, on its own
+// goroutine under its own context: waiters holds the number of requests
+// currently blocked on ready, and when the last of them leaves before the
+// build completes, cancel is invoked so the build stops at its next
+// round/bucket/shard barrier instead of burning cores for nobody. lastUsed
+// is the server's logical clock at the entry's most recent touch, driving
+// LRU eviction; completed entries are recognized by their closed ready
+// channel. val/err/cost are written under s.mu before ready closes and
+// read only after it is closed.
 type entry struct {
 	ready    chan struct{}
 	val      any
 	err      error
 	cost     *ArtifactCost
 	lastUsed atomic.Int64
+
+	// Guarded by Server.mu.
+	waiters int
+	cancel  context.CancelFunc // cancels the detached build; nil once irrelevant
 }
 
 func (e *entry) completed() bool {
@@ -142,9 +166,24 @@ type Server struct {
 	sem   chan struct{}
 	clock atomic.Int64 // logical time for LRU bookkeeping
 
-	mu     sync.RWMutex
-	graphs map[string]*graph.Graph
-	cache  map[Key]*entry
+	// buildSem bounds the number of builds executing engines at once to
+	// Config.Workers. Request slots (sem) no longer cover builds end to
+	// end — a waiter's slot frees the moment it disconnects — so without
+	// this bound a disconnect loop could stack cancelled "zombie" builds,
+	// each still unwinding to its next barrier with GOMAXPROCS-wide
+	// engines, beside the fresh ones. Queued builds whose context is
+	// cancelled leave the queue without ever running.
+	buildSem chan struct{}
+
+	mu       sync.RWMutex
+	graphs   map[string]*graph.Graph
+	cache    map[Key]*entry
+	draining bool // set by Shutdown: new builds are rejected
+
+	// buildWG tracks the detached build goroutines so Shutdown can wait
+	// for them after cancelling their contexts. Add only happens under
+	// s.mu with draining false, so it cannot race the Wait in Shutdown.
+	buildWG sync.WaitGroup
 
 	met metrics
 }
@@ -158,10 +197,11 @@ func New(cfg Config) *Server {
 		cfg.MaxArtifacts = 128
 	}
 	return &Server{
-		cfg:    cfg,
-		sem:    make(chan struct{}, cfg.Workers),
-		graphs: make(map[string]*graph.Graph),
-		cache:  make(map[Key]*entry),
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		buildSem: make(chan struct{}, cfg.Workers),
+		graphs:   make(map[string]*graph.Graph),
+		cache:    make(map[Key]*entry),
 	}
 }
 
@@ -178,8 +218,16 @@ func (s *Server) RegisterGraph(name string, g *graph.Graph) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.graphs[name]; exists {
-		for k := range s.cache {
+		for k, e := range s.cache {
 			if k.Graph == name {
+				if !e.completed() && e.cancel != nil {
+					// An artifact under construction answers for the old
+					// topology: cancel it so it cannot outlive its graph —
+					// and so Shutdown, which cancels via cache membership,
+					// is never blind to a still-running pruned build. Its
+					// waiters get an error and retry against the new graph.
+					e.cancel()
+				}
 				delete(s.cache, k)
 			}
 		}
@@ -215,8 +263,16 @@ func (s *Server) InstallSnapshot(a *snapshot.Artifact) error {
 	e.lastUsed.Store(s.clock.Add(1))
 	close(e.ready)
 	s.mu.Lock()
-	if len(s.cache) >= s.cfg.MaxArtifacts {
-		s.evictLRULocked()
+	// Honor MaxArtifacts exactly like a build does: replacing an existing
+	// key needs no room, a new key must find (or evict) a free slot. If
+	// every slot holds an in-flight build there is nothing evictable and
+	// the install is rejected rather than silently growing the cache past
+	// its bound.
+	if _, exists := s.cache[key]; !exists && len(s.cache) >= s.cfg.MaxArtifacts {
+		if !s.evictLRULocked() {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: cannot install snapshot %v", ErrCacheFull, key)
+		}
 	}
 	s.cache[key] = e
 	s.mu.Unlock()
@@ -269,44 +325,102 @@ func (s *Server) release() { <-s.sem }
 
 // artifact returns the cached value for key, building it with build on
 // first use. Exactly one build runs per key however many requests race;
-// the rest block until it completes (or ctx is cancelled — the build
-// itself keeps running for the requests still waiting on it). A failed
-// build is not cached: the entry is removed so a later request can retry.
-func (s *Server) artifact(ctx context.Context, key Key, build func() (any, error)) (any, error) {
-	// Fast path: cache hits (the steady state of the query workload) only
-	// take the read lock, so concurrent queries never serialize on s.mu.
+// the rest join as waiters and block until it completes or their own ctx
+// is cancelled. The build runs detached, on its own goroutine under its
+// own context passed to the build closure: a waiter that leaves releases
+// only itself (its worker slot frees immediately), and when the LAST
+// waiter leaves the build's context is cancelled so the engines stop at
+// their next barrier. A build that fails — including one that returns
+// ctx.Err() after such a cancellation — is not cached: the entry is
+// removed before ready closes, so the key is immediately retryable.
+func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.Context) (any, error)) (any, error) {
+	// Fast path: completed entries (the steady state of the query
+	// workload) only take the read lock, so concurrent queries never
+	// serialize on s.mu.
 	s.mu.RLock()
 	e, ok := s.cache[key]
 	s.mu.RUnlock()
-	if !ok {
-		s.mu.Lock()
-		if e, ok = s.cache[key]; !ok {
-			// Still absent under the write lock: this request builds.
-			if len(s.cache) >= s.cfg.MaxArtifacts {
-				if !s.evictLRULocked() {
-					s.mu.Unlock()
-					return nil, ErrCacheFull
-				}
-			}
-			e = &entry{ready: make(chan struct{})}
-			e.lastUsed.Store(s.clock.Add(1))
-			s.cache[key] = e
-			s.mu.Unlock()
-			return s.runBuild(key, e, build)
-		}
-		s.mu.Unlock()
+	if ok && e.completed() {
+		e.lastUsed.Store(s.clock.Add(1))
+		s.met.hits.Add(1)
+		return e.val, e.err
 	}
-	e.lastUsed.Store(s.clock.Add(1))
+
+	s.mu.Lock()
+	e, ok = s.cache[key]
+	switch {
+	case !ok:
+		// Absent under the write lock: start the detached build. The
+		// build context is independent of this request's ctx — it is
+		// cancelled by the last departing waiter, not the first.
+		if s.draining {
+			s.mu.Unlock()
+			return nil, ErrShuttingDown
+		}
+		if len(s.cache) >= s.cfg.MaxArtifacts {
+			if !s.evictLRULocked() {
+				s.mu.Unlock()
+				return nil, ErrCacheFull
+			}
+		}
+		bctx, cancel := context.WithCancel(context.Background())
+		e = &entry{ready: make(chan struct{}), cancel: cancel, waiters: 1}
+		e.lastUsed.Store(s.clock.Add(1))
+		s.cache[key] = e
+		s.buildWG.Add(1)
+		go s.runBuild(bctx, key, e, build)
+		s.mu.Unlock()
+		return s.await(ctx, key, e, false)
+	case e.completed():
+		// Completed between the two lock acquisitions.
+		e.lastUsed.Store(s.clock.Add(1))
+		s.mu.Unlock()
+		s.met.hits.Add(1)
+		return e.val, e.err
+	default:
+		// In flight: join as a waiter.
+		e.waiters++
+		e.lastUsed.Store(s.clock.Add(1))
+		s.mu.Unlock()
+		return s.await(ctx, key, e, true)
+	}
+}
+
+// await blocks until e's build completes or ctx is cancelled, maintaining
+// the waiter refcount either way. joined says this request did not start
+// the build (a join counts as a cache hit, matching the pre-detached
+// accounting).
+func (s *Server) await(ctx context.Context, key Key, e *entry, joined bool) (any, error) {
 	select {
 	case <-e.ready:
+		s.mu.Lock()
+		e.waiters--
+		s.mu.Unlock()
+		if e.err != nil {
+			return nil, e.err
+		}
+		if joined {
+			s.met.hits.Add(1)
+		}
+		return e.val, nil
 	case <-ctx.Done():
+		s.mu.Lock()
+		e.waiters--
+		if e.waiters == 0 && !e.completed() && e.cancel != nil {
+			// Last waiter gone mid-build: stop the engines, and drop the
+			// doomed entry NOW rather than when the build unwinds at its
+			// next barrier. The key is retryable immediately, and a
+			// request arriving in the unwind window starts a fresh build
+			// instead of joining this one and inheriting its
+			// context.Canceled as a spurious 503.
+			e.cancel()
+			if cur, ok := s.cache[key]; ok && cur == e {
+				delete(s.cache, key)
+			}
+		}
+		s.mu.Unlock()
 		return nil, ctx.Err()
 	}
-	if e.err != nil {
-		return nil, e.err
-	}
-	s.met.hits.Add(1)
-	return e.val, nil
 }
 
 // evictLRULocked removes the least-recently-used completed entry, making
@@ -381,45 +495,122 @@ func costFor(key Key, source string, millis float64, val any) *ArtifactCost {
 	return c
 }
 
-func (s *Server) runBuild(key Key, e *entry, build func() (any, error)) (any, error) {
+// runBuild executes one detached build. It publishes the result (or
+// removes the entry on failure, making the key retryable) and closes ready
+// under s.mu, so waiter bookkeeping in await can never observe a
+// half-published entry.
+func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx context.Context) (any, error)) {
+	defer s.buildWG.Done()
+	defer e.cancel() // release the context's resources in every outcome
 	s.met.misses.Add(1)
 
-	stop := s.met.buildTimer()
-	e.val, e.err = build()
-	elapsed := stop()
-	if e.err == nil {
-		millis := float64(elapsed.Nanoseconds()) / 1e6
-		e.cost = costFor(key, "build", millis, e.val)
+	// Take a build slot before touching the engines, so at most Workers
+	// builds execute concurrently however many keys are minted. A build
+	// cancelled while queued never runs at all.
+	select {
+	case s.buildSem <- struct{}{}:
+	case <-ctx.Done():
+		s.finishBuild(key, e, nil, ctx.Err(), 0)
+		return
 	}
-	if e.err != nil {
-		s.mu.Lock()
+	stop := s.met.buildTimer()
+	val, err := func() (val any, err error) {
+		// On the old request-goroutine builds, net/http's per-connection
+		// recover contained a panicking build to one failed request; a
+		// detached goroutine has no such net, so restore the containment
+		// here — the panic becomes a failed (retryable) build, not a
+		// daemon crash.
+		defer func() {
+			if r := recover(); r != nil {
+				val, err = nil, fmt.Errorf("serve: build %v panicked: %v", key, r)
+			}
+		}()
+		return build(ctx)
+	}()
+	elapsed := stop()
+	<-s.buildSem
+	s.finishBuild(key, e, val, err, elapsed)
+}
+
+// finishBuild publishes a build outcome: the result (or the removal of the
+// failed entry, making the key retryable) and the ready close happen under
+// one critical section, so waiter bookkeeping never sees a half-published
+// entry.
+func (s *Server) finishBuild(key Key, e *entry, val any, err error, elapsed time.Duration) {
+	s.mu.Lock()
+	e.val, e.err = val, err
+	if err == nil {
+		millis := float64(elapsed.Nanoseconds()) / 1e6
+		e.cost = costFor(key, "build", millis, val)
+	} else {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		}
 		// Only drop the entry if it is still ours: RegisterGraph may have
 		// already replaced the graph and pruned the key.
 		if cur, ok := s.cache[key]; ok && cur == e {
 			delete(s.cache, key)
 		}
-		s.mu.Unlock()
 	}
 	close(e.ready)
-	return e.val, e.err
+	s.mu.Unlock()
 }
 
-// oracleKey resolves the cache key for an oracle request: tau <= 0 falls
-// back to Config.DefaultTau, then the paper default for the graph's size;
-// the algorithm name is canonicalized. The same resolution feeds Oracle
-// and SnapshotArtifact, so a persisted Meta always round-trips to the key
+// Shutdown cancels every in-flight build, rejects builds requested from
+// then on with ErrShuttingDown, and waits for the detached build
+// goroutines to drain (or ctx to expire). Completed artifacts remain
+// queryable throughout, so it is safe to call before draining the HTTP
+// listener — late requests either hit the cache or fail fast instead of
+// starting builds nobody will wait out.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	for _, e := range s.cache {
+		if !e.completed() && e.cancel != nil {
+			e.cancel()
+		}
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.buildWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: builds still draining at shutdown deadline: %w", ctx.Err())
+	}
+}
+
+// resolveTau resolves a request's granularity the same way for every
+// artifact family: non-positive falls back to Config.DefaultTau, then to
+// the family's paper default for the graph's size. Every key-minting path
+// (oracle, diameter, mr-diameter) must key on the resolved value, so a
+// parameter-less request and an explicit request for the default share one
+// cache slot and /stats reports the parameter the build actually used.
+func (s *Server) resolveTau(tau int, g *graph.Graph, paperDefault func(n int) int) int {
+	if tau <= 0 {
+		tau = s.cfg.DefaultTau
+	}
+	if tau <= 0 {
+		tau = paperDefault(g.NumNodes())
+	}
+	return tau
+}
+
+// oracleKey resolves the cache key for an oracle request: tau is resolved
+// via resolveTau (Config.DefaultTau, then core.DefaultOracleTau) and the
+// algorithm name canonicalized. The same resolution feeds Oracle and
+// SnapshotArtifact, so a persisted Meta always round-trips to the key
 // parameter-less requests hit after a warm restart.
 func (s *Server) oracleKey(name string, tau int, seed uint64, algorithm string) (Key, *graph.Graph, bool, error) {
 	g, err := s.Graph(name)
 	if err != nil {
 		return Key{}, nil, false, err
 	}
-	if tau <= 0 {
-		tau = s.cfg.DefaultTau
-	}
-	if tau <= 0 {
-		tau = core.DefaultOracleTau(g.NumNodes())
-	}
+	tau = s.resolveTau(tau, g, core.DefaultOracleTau)
 	useCluster2, err := parseAlgorithm(algorithm)
 	if err != nil {
 		return Key{}, nil, false, err
@@ -436,7 +627,7 @@ func (s *Server) Oracle(ctx context.Context, name string, tau int, seed uint64, 
 	if err != nil {
 		return nil, err
 	}
-	v, err := s.artifact(ctx, key, func() (any, error) {
+	v, err := s.artifact(ctx, key, func(bctx context.Context) (any, error) {
 		// Re-fetch inside the build: a RegisterGraph swap between key
 		// resolution and here must not bake a stale topology into the
 		// cache.
@@ -444,7 +635,7 @@ func (s *Server) Oracle(ctx context.Context, name string, tau int, seed uint64, 
 		if err != nil {
 			return nil, err
 		}
-		return core.BuildOracle(g, key.Tau, useCluster2, s.buildOptions(seed))
+		return core.BuildOracle(bctx, g, key.Tau, useCluster2, s.buildOptions(seed))
 	})
 	if err != nil {
 		return nil, err
@@ -452,27 +643,28 @@ func (s *Server) Oracle(ctx context.Context, name string, tau int, seed uint64, 
 	return v.(*core.Oracle), nil
 }
 
-// Diameter returns the cached diameter bounds for the key's graph.
+// Diameter returns the cached diameter bounds for the key's graph. tau is
+// resolved (Config.DefaultTau, then core.DefaultDiameterTau) before the
+// key is minted, exactly like the oracle path.
 func (s *Server) Diameter(ctx context.Context, name string, tau int, seed uint64, algorithm string) (*core.DiameterResult, error) {
-	if _, err := s.Graph(name); err != nil {
+	g, err := s.Graph(name)
+	if err != nil {
 		return nil, err
 	}
-	if tau <= 0 {
-		tau = s.cfg.DefaultTau
-	}
+	tau = s.resolveTau(tau, g, core.DefaultDiameterTau)
 	useCluster2, err := parseAlgorithm(algorithm)
 	if err != nil {
 		return nil, err
 	}
 	key := Key{Graph: name, Kind: "diameter", Tau: tau, Seed: seed, Algorithm: canonicalAlgorithm(useCluster2)}
-	v, err := s.artifact(ctx, key, func() (any, error) {
+	v, err := s.artifact(ctx, key, func(bctx context.Context) (any, error) {
 		g, err := s.Graph(key.Graph)
 		if err != nil {
 			return nil, err
 		}
-		return core.ApproxDiameter(g, core.DiameterOptions{
+		return core.ApproxDiameter(bctx, g, core.DiameterOptions{
 			Options:     s.buildOptions(seed),
-			Tau:         tau,
+			Tau:         key.Tau,
 			UseCluster2: useCluster2,
 		})
 	})
@@ -491,17 +683,55 @@ func (s *Server) KCenter(ctx context.Context, name string, k int, seed uint64) (
 		return nil, errors.New("serve: k must be >= 1")
 	}
 	key := Key{Graph: name, Kind: "kcenter", Tau: k, Seed: seed, Algorithm: "cluster"}
-	v, err := s.artifact(ctx, key, func() (any, error) {
+	v, err := s.artifact(ctx, key, func(bctx context.Context) (any, error) {
 		g, err := s.Graph(key.Graph)
 		if err != nil {
 			return nil, err
 		}
-		return core.KCenter(g, k, s.buildOptions(seed))
+		return core.KCenter(bctx, g, k, s.buildOptions(seed))
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*core.KCenterResult), nil
+}
+
+// CachedOracleArtifact assembles the persistable artifact for the resolved
+// oracle key only if that oracle is already cached and completed; ok is
+// false otherwise. The daemon's shutdown path uses it to persist a lazily
+// built oracle without triggering a build while draining.
+func (s *Server) CachedOracleArtifact(name string, tau int, seed uint64, algorithm string) (art *snapshot.Artifact, ok bool, err error) {
+	key, _, _, err := s.oracleKey(name, tau, seed, algorithm)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.RLock()
+	e, found := s.cache[key]
+	s.mu.RUnlock()
+	if !found || !e.completed() || e.err != nil {
+		return nil, false, nil
+	}
+	o, isOracle := e.val.(*core.Oracle)
+	if !isOracle {
+		return nil, false, nil
+	}
+	return oracleArtifact(key, o), true, nil
+}
+
+// oracleArtifact assembles the persistable snapshot for a resolved oracle
+// key — the one shape every persistence path writes, so a persisted Meta
+// always round-trips to the cache slot InstallSnapshot re-seeds.
+func oracleArtifact(key Key, o *core.Oracle) *snapshot.Artifact {
+	return &snapshot.Artifact{
+		Meta: snapshot.Meta{
+			GraphName: key.Graph,
+			Tau:       key.Tau,
+			Seed:      key.Seed,
+			Algorithm: key.Algorithm,
+		},
+		Graph:  o.Clustering().G,
+		Oracle: o,
+	}
 }
 
 // SnapshotArtifact assembles the persistable artifact for an oracle key,
@@ -517,16 +747,7 @@ func (s *Server) SnapshotArtifact(ctx context.Context, name string, tau int, see
 	if err != nil {
 		return nil, err
 	}
-	return &snapshot.Artifact{
-		Meta: snapshot.Meta{
-			GraphName: key.Graph,
-			Tau:       key.Tau,
-			Seed:      key.Seed,
-			Algorithm: key.Algorithm,
-		},
-		Graph:  o.Clustering().G,
-		Oracle: o,
-	}, nil
+	return oracleArtifact(key, o), nil
 }
 
 func (s *Server) buildOptions(seed uint64) core.Options {

@@ -56,7 +56,7 @@ func TestDistanceMatchesOracleUnderParallelClients(t *testing.T) {
 	_, ts := newTestServer(t, "road", g)
 
 	// Reference oracle, built directly with the same (tau, seed, algo) key.
-	want, err := core.BuildOracle(g, 3, false, core.Options{Seed: 7})
+	want, err := core.BuildOracle(context.Background(), g, 3, false, core.Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"path/filepath"
@@ -14,7 +15,7 @@ import (
 
 func buildArtifact(t *testing.T, g *graph.Graph, tau int, seed uint64) *Artifact {
 	t.Helper()
-	o, err := core.BuildOracle(g, tau, false, core.Options{Seed: seed})
+	o, err := core.BuildOracle(context.Background(), g, tau, false, core.Options{Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,7 +208,7 @@ func TestBadMagicAndVersion(t *testing.T) {
 func TestWriteRejectsForeignOracle(t *testing.T) {
 	g1 := graph.Mesh(10, 10)
 	g2 := graph.Mesh(10, 10)
-	o, err := core.BuildOracle(g1, 1, false, core.Options{Seed: 1})
+	o, err := core.BuildOracle(context.Background(), g1, 1, false, core.Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/anf"
@@ -133,26 +134,53 @@ func Cluster(g *Graph, tau int, opt Options) (*Clustering, error) {
 	return core.Cluster(g, tau, opt)
 }
 
+// ClusterContext is Cluster with cooperative cancellation: the build
+// checks ctx at superstep barriers and returns ctx.Err() within one round
+// of a cancel. Every *Context variant below behaves the same way.
+func ClusterContext(ctx context.Context, g *Graph, tau int, opt Options) (*Clustering, error) {
+	return core.ClusterContext(ctx, g, tau, opt)
+}
+
 // Cluster2 runs the paper's Algorithm 2 (CLUSTER2(τ)).
 func Cluster2(g *Graph, tau int, opt Options) (*Clustering, error) {
 	return core.Cluster2(g, tau, opt)
 }
 
+// Cluster2Context is Cluster2 with cooperative cancellation.
+func Cluster2Context(ctx context.Context, g *Graph, tau int, opt Options) (*Clustering, error) {
+	return core.Cluster2Context(ctx, g, tau, opt)
+}
+
 // KCenter computes an O(log³n)-approximate k-center solution (Theorem 2).
 func KCenter(g *Graph, k int, opt Options) (*KCenterResult, error) {
-	return core.KCenter(g, k, opt)
+	return core.KCenter(context.Background(), g, k, opt)
+}
+
+// KCenterContext is KCenter with cooperative cancellation.
+func KCenterContext(ctx context.Context, g *Graph, k int, opt Options) (*KCenterResult, error) {
+	return core.KCenter(ctx, g, k, opt)
 }
 
 // ApproxDiameter estimates the diameter via the quotient graph of a
 // decomposition (Section 4), returning certified bounds
 // DeltaC <= ∆ <= Upper.
 func ApproxDiameter(g *Graph, opt DiameterOptions) (*DiameterResult, error) {
-	return core.ApproxDiameter(g, opt)
+	return core.ApproxDiameter(context.Background(), g, opt)
+}
+
+// ApproxDiameterContext is ApproxDiameter with cooperative cancellation.
+func ApproxDiameterContext(ctx context.Context, g *Graph, opt DiameterOptions) (*DiameterResult, error) {
+	return core.ApproxDiameter(ctx, g, opt)
 }
 
 // BuildOracle constructs the linear-space approximate distance oracle.
 func BuildOracle(g *Graph, tau int, useCluster2 bool, opt Options) (*Oracle, error) {
-	return core.BuildOracle(g, tau, useCluster2, opt)
+	return core.BuildOracle(context.Background(), g, tau, useCluster2, opt)
+}
+
+// BuildOracleContext is BuildOracle with cooperative cancellation.
+func BuildOracleContext(ctx context.Context, g *Graph, tau int, useCluster2 bool, opt Options) (*Oracle, error) {
+	return core.BuildOracle(ctx, g, tau, useCluster2, opt)
 }
 
 // QuotientGraph builds the (unweighted) quotient graph of a clustering.
