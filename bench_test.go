@@ -345,6 +345,32 @@ func BenchmarkEngineModesCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineObserver prices the progress-hook seam itself: the nil
+// case is the default everyone but /builds runs (one predicate per barrier,
+// no delta materialized) and must show parity with the pre-hook engine —
+// BenchmarkEngineModesBFS measures that same nil path end to end — while
+// the counting case is the full serve-tier wiring (snapshot, subtract,
+// callback) and bounds what a /metrics-instrumented build pays per barrier.
+func BenchmarkEngineObserver(b *testing.B) {
+	mesh, _, _ := benchGraphs()
+	var sink atomic.Int64
+	for _, tc := range []struct {
+		name string
+		obs  bsp.Observer
+	}{
+		{"nil", nil},
+		{"counting", func(d bsp.Stats) { sink.Add(d.Messages) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Cluster(mesh, 16, core.Options{Seed: 1, Observer: tc.obs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Weighted layer: parallel delta-stepping vs the sequential seed path ---
 
 // Shared weighted instance at the acceptance scale: G(20k, 100k) with

@@ -1,0 +1,200 @@
+// Command bench runs the serving tier's fixed perf trajectory and writes
+// the result as JSON (BENCH_6.json in-repo). It exercises the three hot
+// paths the observability PR instruments — a cold oracle build, the
+// /distance point-query path over HTTP, and the MR diameter pipeline —
+// and reports wall-clock alongside the engines' own work counters, so a
+// regression in either time or algorithmic work shows up as a diff.
+//
+// Usage:
+//
+//	bench [-o BENCH_6.json] [-queries 2000] [-workers 0]
+//
+// The workload is fixed (graphs, tau, seeds) so successive runs are
+// comparable; only the machine varies, which is why the environment block
+// records the Go version and GOMAXPROCS.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/serve"
+)
+
+// Report is the BENCH_6.json schema.
+type Report struct {
+	Env    Env         `json:"env"`
+	Oracle OracleBench `json:"oracle_build"`
+	Serve  ServeBench  `json:"serve_distance"`
+	MR     MRBench     `json:"mr_diameter"`
+}
+
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// OracleBench is one cold oracle build on RoadLike(130,130,0.4,9) with
+// tau=4 seed=1 — the same instance BenchmarkServeDistance warms up on.
+type OracleBench struct {
+	Graph       string  `json:"graph"`
+	Nodes       int     `json:"nodes"`
+	Arcs        int     `json:"arcs"`
+	Tau         int     `json:"tau"`
+	Seed        uint64  `json:"seed"`
+	WallMillis  float64 `json:"wall_millis"`
+	Rounds      int     `json:"bsp_rounds"`
+	PullRounds  int     `json:"bsp_pull_rounds"`
+	ArcsScanned int64   `json:"arcs_scanned"`
+	Relaxations int64   `json:"relaxations"`
+	Clusters    int     `json:"clusters"`
+}
+
+// ServeBench is the end-to-end /distance latency distribution over a warm
+// cache: HTTP, middleware, JSON, worker pool, O(1) oracle lookup.
+type ServeBench struct {
+	Queries   int     `json:"queries"`
+	P50Micros float64 `json:"p50_micros"`
+	P99Micros float64 `json:"p99_micros"`
+	AvgMicros float64 `json:"avg_micros"`
+}
+
+// MRBench is the Section 5 diameter path on the sharded MR runtime:
+// CLUSTER(τ) then repeated min-plus squaring, on Mesh(60,60).
+type MRBench struct {
+	Graph           string  `json:"graph"`
+	Tau             int     `json:"tau"`
+	Seed            uint64  `json:"seed"`
+	WallMillis      float64 `json:"wall_millis"`
+	Rounds          int     `json:"mr_rounds"`
+	PairsShuffled   int64   `json:"pairs_shuffled"`
+	MaxReducerInput int     `json:"max_reducer_input"`
+	Upper           int64   `json:"diameter_upper"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_6.json", "output file (- for stdout)")
+	queries := flag.Int("queries", 2000, "point queries for the latency distribution")
+	workers := flag.Int("workers", 0, "build workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	rep := Report{Env: Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}}
+
+	s := serve.New(serve.Config{Workers: 64, BuildWorkers: *workers})
+	road := graph.RoadLike(130, 130, 0.4, 9)
+	mesh := graph.Mesh(60, 60)
+	fail(s.RegisterGraph("road", road))
+	fail(s.RegisterGraph("mesh", mesh))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Cold oracle build, timed through the same serve path /distance uses.
+	start := time.Now()
+	or, err := s.Oracle(context.Background(), "road", 4, 1, "")
+	fail(err)
+	wall := time.Since(start)
+	st := or.Clustering().Stats
+	ap := or.APSPStats()
+	rep.Oracle = OracleBench{
+		Graph:       "roadlike-130x130",
+		Nodes:       road.NumNodes(),
+		Arcs:        road.NumArcs(),
+		Tau:         4,
+		Seed:        1,
+		WallMillis:  float64(wall.Nanoseconds()) / 1e6,
+		Rounds:      st.Rounds + ap.Rounds,
+		PullRounds:  st.PullRounds + ap.PullRounds,
+		ArcsScanned: st.Messages + ap.Messages,
+		Relaxations: st.Relaxations + ap.Relaxations,
+		Clusters:    or.NumClusters(),
+	}
+
+	// Warm-cache point queries, sequential so each sample is one request.
+	r := rng.New(7)
+	n := road.NumNodes()
+	lat := make([]float64, 0, *queries)
+	var sum float64
+	for i := 0; i < *queries; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		url := fmt.Sprintf("%s/distance?graph=road&tau=4&seed=1&u=%d&v=%d", ts.URL, u, v)
+		q0 := time.Now()
+		resp, err := http.Get(url)
+		fail(err)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		micros := float64(time.Since(q0).Nanoseconds()) / 1e3
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("%s: status %d", url, resp.StatusCode))
+		}
+		lat = append(lat, micros)
+		sum += micros
+	}
+	sort.Float64s(lat)
+	rep.Serve = ServeBench{
+		Queries:   *queries,
+		P50Micros: quantile(lat, 0.50),
+		P99Micros: quantile(lat, 0.99),
+		AvgMicros: sum / float64(len(lat)),
+	}
+
+	// MR diameter pipeline, cold.
+	start = time.Now()
+	mrRes, err := s.MRDiameter(context.Background(), "mesh", 1, 1)
+	fail(err)
+	wall = time.Since(start)
+	rep.MR = MRBench{
+		Graph:           "mesh-60x60",
+		Tau:             1,
+		Seed:            1,
+		WallMillis:      float64(wall.Nanoseconds()) / 1e6,
+		Rounds:          mrRes.Rounds,
+		PairsShuffled:   mrRes.PairsShuffled,
+		MaxReducerInput: mrRes.MaxReducerInput,
+		Upper:           mrRes.Upper,
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	fail(err)
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	fail(os.WriteFile(*out, enc, 0o644))
+	fmt.Printf("wrote %s: build %.0fms, p50 %.0fµs, p99 %.0fµs, MR %d rounds / %d pairs\n",
+		*out, rep.Oracle.WallMillis, rep.Serve.P50Micros, rep.Serve.P99Micros, rep.MR.Rounds, rep.MR.PairsShuffled)
+}
+
+// quantile returns the q-quantile of sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

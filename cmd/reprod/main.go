@@ -22,6 +22,13 @@
 //	curl 'localhost:8080/mr-diameter?graph=road'
 //	curl 'localhost:8080/kcenter?graph=road&k=32'
 //	curl 'localhost:8080/stats'
+//	curl 'localhost:8080/metrics'   # Prometheus text exposition
+//	curl 'localhost:8080/builds'    # build traces: in-flight + recent
+//
+// Observability: -log-requests emits one structured line per request
+// (request id, status, latency, artifact key, cache outcome), and
+// -debug-addr serves net/http/pprof on a separate mux so profiling never
+// rides the query port.
 //
 // Endpoint parameters tau/seed/algo select the artifact; omitted they fall
 // back to the daemon's -tau/-seed/-algo defaults, so clients that do not
@@ -35,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -62,6 +70,8 @@ func main() {
 		build    = flag.Int("build-workers", 0, "BSP workers for artifact builds (0 = GOMAXPROCS)")
 		lazy     = flag.Bool("lazy", false, "skip the startup oracle build; first query pays it")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget: cancel builds, drain handlers, write the snapshot")
+		logReqs  = flag.Bool("log-requests", false, "log one structured line per HTTP request (id, method, path, status, latency, artifact key, cache outcome)")
+		debug    = flag.String("debug-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled); kept off the service mux so profiling is never exposed on the query port")
 	)
 	flag.Parse()
 
@@ -86,13 +96,17 @@ func main() {
 	if art != nil && art.Oracle != nil {
 		defTau, defSeed, defAlgo = art.Meta.Tau, art.Meta.Seed, art.Meta.Algorithm
 	}
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:          *workers,
 		DefaultTau:       defTau,
 		DefaultSeed:      defSeed,
 		DefaultAlgorithm: defAlgo,
 		BuildWorkers:     *build,
-	})
+	}
+	if *logReqs {
+		cfg.RequestLog = logRequest
+	}
+	s := serve.New(cfg)
 
 	graphName, err := bootstrap(s, art, *graphIn, *gen, *name, *snapPath, *tau, *seed, *algo, *lazy)
 	if err != nil {
@@ -112,6 +126,9 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+	if *debug != "" {
+		go serveDebug(*debug)
 	}
 	go func() {
 		log.Printf("reprod: serving %v on %s", s.GraphNames(), *addr)
@@ -157,6 +174,35 @@ func main() {
 		}
 	}
 	log.Print("reprod: bye")
+}
+
+// logRequest is the -log-requests sink: one line per completed request in
+// logfmt shape, carrying the request id the response echoed as
+// X-Request-ID so a client-reported failure can be joined to this log.
+func logRequest(e serve.RequestLogEntry) {
+	line := fmt.Sprintf("req id=%s method=%s path=%s status=%d latency=%s",
+		e.ID, e.Method, e.Path, e.Status, e.Latency.Round(time.Microsecond))
+	if e.ArtifactKey != "" {
+		line += fmt.Sprintf(" artifact=%q cache=%s", e.ArtifactKey, e.Cache)
+	}
+	log.Print(line)
+}
+
+// serveDebug runs the net/http/pprof handlers on their own mux and
+// listener. The default-mux registration pprof does on import is not used:
+// the service handler is a fresh ServeMux, so profiling endpoints exist
+// only on -debug-addr, never on the query port.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("reprod: pprof debug server on %s", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("reprod: debug server: %v", err)
+	}
 }
 
 // bootstrap loads or builds the serving state and returns the graph name.

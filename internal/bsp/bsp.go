@@ -82,6 +82,22 @@ type RoundStat struct {
 	Dir      Direction // direction the superstep ran in
 }
 
+// Observer receives live progress from a running engine, as Stats deltas
+// emitted at superstep barriers (Engine) and bucket barriers
+// (WeightedEngine) — the window a serving layer needs to report what a
+// multi-second build is doing between enqueue and completion, instead of
+// only its post-hoc totals. Semantics follow Stats.Add: the counter
+// fields are increments since the previous emission, MaxFrontier is a
+// high-water candidate to be max-merged.
+//
+// An Observer must be safe for concurrent use when one function is
+// installed on several engines running in parallel (the oracle's APSP
+// fan-out does exactly that), and must be cheap: it runs on the engine's
+// driving goroutine, between barriers. A nil observer (the default) costs
+// one predictable branch per round — nothing on the arc-scanning hot
+// path, which BenchmarkEngineObserver pins down.
+type Observer func(delta Stats)
+
 // Workers resolves a worker-count request: non-positive means
 // runtime.GOMAXPROCS(0).
 func Workers(requested int) int {

@@ -117,6 +117,10 @@ type Engine struct {
 	stats Stats
 	log   []RoundStat
 
+	// obs, when non-nil, receives a Stats delta after every executed
+	// superstep (SetObserver); nil costs one branch per round.
+	obs Observer
+
 	// ctx arms cooperative cancellation (SetContext); nil never cancels.
 	ctx context.Context
 
@@ -174,6 +178,27 @@ func (e *Engine) SetDirection(d Direction) { e.mode = d }
 // reports the cause. A nil ctx (the default) never cancels. The context
 // survives Reset, covering multi-traversal computations like iFUB.
 func (e *Engine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetObserver installs fn to receive a Stats delta at every superstep
+// barrier (after the round's counters are committed), so a long traversal
+// reports live progress instead of only post-hoc totals. The observer is
+// invoked outside any engine lock, on the goroutine driving the
+// traversal; it survives Reset, covering multi-traversal computations. A
+// nil fn (the default) disables observation at the cost of one branch per
+// round — the arc-scanning inner loops are untouched.
+func (e *Engine) SetObserver(fn Observer) { e.obs = fn }
+
+// observe emits one round's delta to the observer, if any.
+func (e *Engine) observe(rs RoundStat, dir Direction) {
+	if e.obs == nil {
+		return
+	}
+	d := Stats{Rounds: 1, Messages: rs.Arcs, MaxFrontier: rs.Frontier}
+	if dir == DirPull {
+		d.PullRounds = 1
+	}
+	e.obs(d)
+}
 
 // Err returns the context error if SetContext armed cancellation and the
 // context has been cancelled, else nil. Drivers check it after their
@@ -343,6 +368,7 @@ func (e *Engine) Step(spec StepSpec) RoundStat {
 	}
 	rs := RoundStat{Frontier: nf, Claimed: len(next), Arcs: arcs, Dir: dir}
 	e.log = append(e.log, rs)
+	e.observe(rs, dir)
 	return rs
 }
 
@@ -526,6 +552,7 @@ func (e *Engine) GatherStep(gather func(worker int, v NodeID) bool) RoundStat {
 	}
 	rs := RoundStat{Frontier: nf, Claimed: len(next), Arcs: arcs, Dir: dir}
 	e.log = append(e.log, rs)
+	e.observe(rs, dir)
 	return rs
 }
 

@@ -109,6 +109,10 @@ type WeightedEngine struct {
 	// ctx arms cooperative cancellation (SetContext); nil never cancels.
 	ctx context.Context
 
+	// obs, when non-nil, receives a Stats delta after every settled
+	// bucket (SetObserver); nil costs one branch per bucket.
+	obs Observer
+
 	// Per-phase scratch.
 	frontier []NodeID
 	fwords   []uint64 // distance snapshot aligned with frontier
@@ -227,6 +231,16 @@ func (e *WeightedEngine) Stats() Stats { return e.stats }
 // the run. A nil ctx (the default) never cancels. The context survives
 // reset, covering multi-search computations like the weighted iFUB.
 func (e *WeightedEngine) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// SetObserver installs fn to receive a Stats delta at every bucket
+// barrier — the weighted engine's per-bucket counterpart of
+// Engine.SetObserver, emitting the bucket's relaxation phases
+// (Rounds), offers (Messages/Relaxations), and Buckets: 1 after each
+// settled bucket. The observer runs on the driving goroutine, outside
+// the relaxation phases; it survives reset, covering multi-search
+// computations. A nil fn (the default) disables observation at the cost
+// of one branch per bucket.
+func (e *WeightedEngine) SetObserver(fn Observer) { e.obs = fn }
 
 // Err returns the context error if SetContext armed cancellation and the
 // context has been cancelled, else nil.
@@ -448,6 +462,7 @@ func (e *WeightedEngine) admit(v NodeID) {
 // everything the bucket settled. It reports whether any bucket held live
 // work (stale entries are consumed either way).
 func (e *WeightedEngine) processBucket() bool {
+	before := e.stats
 	for len(e.bheap) > 0 {
 		if e.Err() != nil {
 			// Cancelled at a bucket barrier: leave the pending buckets
@@ -508,6 +523,15 @@ func (e *WeightedEngine) processBucket() bool {
 		}
 		e.inR.ClearSparse(e.rset)
 		e.stats.Buckets++
+		if e.obs != nil {
+			e.obs(Stats{
+				Rounds:      e.stats.Rounds - before.Rounds,
+				Messages:    e.stats.Messages - before.Messages,
+				Relaxations: e.stats.Relaxations - before.Relaxations,
+				Buckets:     1,
+				MaxFrontier: e.stats.MaxFrontier,
+			})
+		}
 		return true
 	}
 	return false

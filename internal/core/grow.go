@@ -31,6 +31,7 @@ func newGrower(g *graph.Graph, opt Options) *grower {
 		dist:  make([]int32, n),
 	}
 	gr.e.SetDirection(opt.Direction)
+	gr.e.SetObserver(opt.Observer)
 	for i := range gr.owner {
 		gr.owner[i] = -1
 	}

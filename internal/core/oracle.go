@@ -110,6 +110,7 @@ func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Or
 			// is already spent on the source fan-out.
 			e := bsp.NewWeightedEngine(wq, 1, opt.Delta)
 			e.SetContext(ctx)
+			e.SetObserver(opt.Observer) // concurrent across workers; Observer contract requires thread safety
 			defer e.Close()
 			for ctx.Err() == nil {
 				c := int(next.Add(1)) - 1

@@ -153,6 +153,7 @@ func WeightedClusterContext(ctx context.Context, wg *graph.Weighted, tau int, op
 	e := bsp.NewWeightedEngine(wg, opt.Workers, opt.Delta)
 	defer e.Close()
 	e.SetContext(ctx)
+	e.SetObserver(opt.Observer)
 	e.GrowInit()
 
 	var centers []graph.NodeID

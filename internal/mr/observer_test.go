@@ -1,0 +1,40 @@
+package mr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestObserverSeesCommittedRounds pins the observer contract: every
+// committed round emits its RoundStat exactly once, in order, identical to
+// the entry recorded in RoundStats, and failed rounds emit nothing.
+func TestObserverSeesCommittedRounds(t *testing.T) {
+	e := NewEngine(Config{MG: 4})
+	var seen []RoundStat
+	e.SetObserver(func(rs RoundStat) { seen = append(seen, rs) })
+
+	identity := func(key uint64, pairs []Pair, emit Emitter) {
+		for _, p := range pairs {
+			emit(p)
+		}
+	}
+	in := []Pair{{Key: 1, A: 1}, {Key: 2, A: 2}, {Key: 1, A: 3}}
+	for round := 0; round < 2; round++ {
+		if _, err := e.Round(in, identity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A failed round (global memory probe) must not reach the observer.
+	tooBig := []Pair{{Key: 1}, {Key: 2}, {Key: 3}, {Key: 4}, {Key: 5}}
+	if _, err := e.Round(tooBig, identity); err == nil {
+		t.Fatal("oversized round unexpectedly succeeded")
+	}
+
+	want := e.RoundStats()
+	if len(want) != 2 {
+		t.Fatalf("recorded %d round stats, want 2", len(want))
+	}
+	if !reflect.DeepEqual(seen, want) {
+		t.Fatalf("observer saw %+v, RoundStats recorded %+v", seen, want)
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// repository's two regimes: O(1) table-lookup queries (tens of
+// microseconds) and cold multi-second artifact builds. They follow the
+// conventional 1-2.5-5 progression.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// BuildBuckets are the default build-duration buckets in seconds: builds
+// are the slow phase (milliseconds on toy graphs, minutes at scale), so
+// the range shifts up and extends further than DefBuckets.
+var BuildBuckets = []float64{
+	0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations. Writes
+// are lock-free (one atomic add on the bucket, one CAS loop on the sum);
+// reads compute cumulative counts from per-bucket atomics, which keeps
+// every exported number monotone across scrapes.
+type Histogram struct {
+	upper  []float64      // finite upper bounds, strictly increasing
+	counts []atomic.Int64 // len(upper)+1; last bucket is +Inf
+	sum    atomic.Uint64  // math.Float64bits of the running sum
+}
+
+// NewHistogram returns a histogram with the given finite upper bounds
+// (strictly increasing; the +Inf bucket is implicit). Most callers get
+// histograms from a Registry instead.
+func NewHistogram(buckets []float64) *Histogram {
+	upper := normalizeBuckets(buckets)
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Int64, len(upper)+1),
+	}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound contains v; len(upper) is +Inf.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns the cumulative bucket counts (aligned with upper,
+// plus the +Inf bucket last), the total count, and the sum. Each bucket
+// load is atomic, so the cumulative values are nondecreasing between
+// scrapes even under concurrent Observe calls.
+func (h *Histogram) snapshot() (cum []int64, count int64, sum float64) {
+	cum = make([]int64, len(h.counts))
+	var running int64
+	for i := range h.counts {
+		running += h.counts[i].Load()
+		cum[i] = running
+	}
+	return cum, running, h.Sum()
+}
+
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) from the
+// bucket counts: the upper bound of the first bucket whose cumulative
+// count reaches q·total. It inherits the bucket resolution — exact
+// enough for trend lines (p50/p99 in BENCH baselines), not for billing.
+// Returns NaN with no observations; observations beyond the last finite
+// bound report that bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum, total, _ := h.snapshot()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range cum {
+		if c >= rank {
+			if i < len(h.upper) {
+				return h.upper[i]
+			}
+			return h.upper[len(h.upper)-1]
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}

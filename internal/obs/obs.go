@@ -1,0 +1,316 @@
+// Package obs is the repository's stdlib-only metrics substrate: lock-free
+// counters, gauges, and fixed-bucket latency histograms collected in a
+// Registry that renders the Prometheus text exposition format (version
+// 0.0.4), so any scraper can consume the serving tier without this module
+// taking a dependency on a client library.
+//
+// Design constraints, in order:
+//
+//   - The write path (Counter.Inc, Histogram.Observe) must be safe for
+//     arbitrary concurrency and must never take a lock or allocate — it
+//     runs once per HTTP request and once per engine superstep. All
+//     instruments are plain atomics.
+//   - Scrapes must observe monotone counters. Every exported number is
+//     either a single atomic load or a sum of atomic loads, both of which
+//     are nondecreasing over time for nondecreasing inputs, so two
+//     successive scrapes can never see a counter go backwards.
+//   - Registration is the slow path. Families and labeled series are
+//     created under locks and cached by the caller (resolve a *Counter
+//     once, then Inc it forever); With on a vec takes a read lock only.
+//
+// The zero value of Counter/Gauge is ready to use; instruments obtained
+// from a Registry are additionally rendered by WritePrometheus in
+// registration order with their series sorted by label values.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value. The zero value is valid.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n, which must be non-negative for the exposition to remain a
+// valid Prometheus counter.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is valid.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// metricKind is the TYPE line of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// series is one labeled instance inside a family.
+type series struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	h           *Histogram
+}
+
+// family is one metric name: HELP, TYPE, and its labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64      // histogram families only
+	fn      func() float64 // gauge-func families only
+
+	mu     sync.RWMutex
+	byKey  map[string]*series
+	series []*series
+}
+
+// Registry holds metric families and renders them. Create with
+// NewRegistry; the zero value is not usable.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register adds a family, panicking on an invalid or duplicate name —
+// metric registration happens at construction time, so a bad name is a
+// programming error, not a runtime condition.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64, fn func() float64) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on metric %q", l, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  labels,
+		buckets: buckets,
+		fn:      fn,
+		byKey:   make(map[string]*series),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, nil, nil, nil)
+	return f.getOrCreate(nil).c
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, nil, nil, nil)
+	return f.getOrCreate(nil).g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for quantities that already live elsewhere (cache occupancy,
+// pool occupancy) and should not be double-booked.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGauge, nil, nil, fn)
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// upper bounds (see NewHistogram for the bucket contract).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, normalizeBuckets(buckets), nil)
+	return f.getOrCreate(nil).h
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if len(labels) == 0 {
+		panic("obs: CounterVec needs at least one label; use Counter")
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// HistogramVec registers a histogram family with the given label names.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(labels) == 0 {
+		panic("obs: HistogramVec needs at least one label; use Histogram")
+	}
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, normalizeBuckets(buckets), nil)}
+}
+
+// CounterVec is a family of counters distinguished by label values.
+type CounterVec struct {
+	f *family
+}
+
+// With returns the counter for the given label values (created on first
+// use). The returned pointer may be cached; repeated With calls with the
+// same values return the same counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.getOrCreate(values).c
+}
+
+// HistogramVec is a family of histograms distinguished by label values.
+type HistogramVec struct {
+	f *family
+}
+
+// With returns the histogram for the given label values (created on
+// first use).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.getOrCreate(values).h
+}
+
+// seriesKey joins label values with a byte that cannot appear unescaped
+// in a value comparison ambiguity (0xff is invalid UTF-8, so two distinct
+// value tuples can never collide).
+func seriesKey(values []string) string {
+	return strings.Join(values, "\xff")
+}
+
+func (f *family) getOrCreate(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	f.mu.RLock()
+	s, ok := f.byKey[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.byKey[key]; ok {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = NewHistogram(f.buckets)
+	}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// snapshotSeries returns the family's series sorted by label values, so
+// the exposition is stable across scrapes regardless of creation order.
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	out := append([]*series(nil), f.series...)
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].labelValues, out[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// validMetricName enforces the Prometheus data-model grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName enforces [a-zA-Z_][a-zA-Z0-9_]* and rejects the
+// reserved __ prefix.
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeBuckets validates and copies histogram bounds: strictly
+// increasing, finite, at least one bound. A trailing +Inf bound is
+// implicit and must not be passed.
+func normalizeBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("obs: histogram needs at least one finite bucket bound")
+	}
+	out := append([]float64(nil), buckets...)
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("obs: histogram bucket bounds must be finite (+Inf is implicit)")
+		}
+		if i > 0 && out[i-1] >= b {
+			panic("obs: histogram bucket bounds must be strictly increasing")
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	g := r.Gauge("test_gauge", "a gauge")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestVecSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "requests", "path", "code")
+	a := v.With("/distance", "200")
+	b := v.With("/distance", "200")
+	if a != b {
+		t.Fatal("With with equal label values returned distinct counters")
+	}
+	c := v.With("/distance", "404")
+	if a == c {
+		t.Fatal("With with distinct label values returned the same counter")
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if want := 0.5 + 1.5 + 1.7 + 3 + 100; math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", sum, want)
+	}
+	wantCum := []int64{1, 3, 4, 5} // le=1, le=2, le=4, +Inf
+	for i, w := range wantCum {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (full: %v)", i, cum[i], w, cum)
+		}
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want 2", q)
+	}
+	if q := h.Quantile(0.99); q != 4 { // beyond the last finite bound clamps to it
+		t.Fatalf("p99 = %v, want 4", q)
+	}
+	if !math.IsNaN(NewHistogram([]float64{1}).Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	// Prometheus buckets are le (less-or-equal): an observation exactly on
+	// a bound belongs to that bound's bucket.
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1)
+	cum, _, _ := h.snapshot()
+	if cum[0] != 1 {
+		t.Fatalf("observation on the bound landed in cum=%v, want le=1 bucket", cum)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("reqs_total", "with \"quotes\" and \\slash\nand newline", "path")
+	c.With(`va"l\ue` + "\n").Add(3)
+	r.GaugeFunc("occupancy", "live value", func() float64 { return 2.5 })
+	h := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "path")
+	h.With("/x").Observe(0.05)
+	h.With("/x").Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP reqs_total with \"quotes\" and \\\\slash\\nand newline\n",
+		"# TYPE reqs_total counter\n",
+		`reqs_total{path="va\"l\\ue\n"} 3` + "\n",
+		"# TYPE occupancy gauge\noccupancy 2.5\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{path="/x",le="0.1"} 1` + "\n",
+		`lat_seconds_bucket{path="/x",le="1"} 1` + "\n",
+		`lat_seconds_bucket{path="/x",le="+Inf"} 2` + "\n",
+		`lat_seconds_sum{path="/x"} 5.05` + "\n",
+		`lat_seconds_count{path="/x"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesSortedByLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("m_total", "m", "path")
+	v.With("/z").Inc()
+	v.With("/a").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if ia, iz := strings.Index(out, `path="/a"`), strings.Index(out, `path="/z"`); ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("series not sorted by label value:\n%s", out)
+	}
+}
+
+func TestInvalidRegistrationPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad metric name":  func() { NewRegistry().Counter("0bad", "x") },
+		"bad label name":   func() { NewRegistry().CounterVec("ok_total", "x", "0bad") },
+		"reserved label":   func() { NewRegistry().CounterVec("ok_total", "x", "__internal") },
+		"duplicate name":   func() { r := NewRegistry(); r.Counter("dup", "x"); r.Counter("dup", "y") },
+		"empty buckets":    func() { NewRegistry().Histogram("h", "x", nil) },
+		"unsorted buckets": func() { NewRegistry().Histogram("h", "x", []float64{2, 1}) },
+		"inf bucket":       func() { NewRegistry().Histogram("h", "x", []float64{1, math.Inf(1)}) },
+		"wrong arity":      func() { NewRegistry().CounterVec("v_total", "x", "a", "b").With("only-one") },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// Concurrent writers plus concurrent scrapes: the instruments promise
+// lock-free writes and monotone reads, which the -race CI job verifies
+// through this test.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	h := r.Histogram("h_seconds", "h", DefBuckets)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 2000
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var lastCount int64
+	for {
+		select {
+		case <-done:
+			if c.Value() != writers*perWriter {
+				t.Fatalf("counter = %d, want %d", c.Value(), writers*perWriter)
+			}
+			if h.Count() != writers*perWriter {
+				t.Fatalf("histogram count = %d, want %d", h.Count(), writers*perWriter)
+			}
+			return
+		default:
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if n := h.Count(); n < lastCount {
+				t.Fatalf("histogram count went backwards: %d -> %d", lastCount, n)
+			} else {
+				lastCount = n
+			}
+		}
+	}
+}

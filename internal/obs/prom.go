@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format: a # HELP and # TYPE line per family, then one
+// sample line per series (bucket/sum/count triplets for histograms),
+// series sorted by label values. Families appear in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(string(f.kind))
+		bw.WriteByte('\n')
+
+		if f.fn != nil {
+			writeSample(bw, f.name, f.labels, nil, "", "", formatFloat(f.fn()))
+			continue
+		}
+		for _, s := range f.snapshotSeries() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", strconv.FormatInt(s.c.Value(), 10))
+			case kindGauge:
+				writeSample(bw, f.name, f.labels, s.labelValues, "", "", strconv.FormatInt(s.g.Value(), 10))
+			case kindHistogram:
+				cum, count, sum := s.h.snapshot()
+				for i, upper := range s.h.upper {
+					writeSample(bw, f.name+"_bucket", f.labels, s.labelValues,
+						"le", formatFloat(upper), strconv.FormatInt(cum[i], 10))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, s.labelValues,
+					"le", "+Inf", strconv.FormatInt(cum[len(cum)-1], 10))
+				writeSample(bw, f.name+"_sum", f.labels, s.labelValues, "", "", formatFloat(sum))
+				writeSample(bw, f.name+"_count", f.labels, s.labelValues, "", "", strconv.FormatInt(count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one sample line: name{labels,extraName="extraValue"} value.
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraName, extraValue, sample string) {
+	bw.WriteString(name)
+	if len(values) > 0 || extraName != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraName != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraName)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabelValue(extraValue))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(sample)
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

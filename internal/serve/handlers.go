@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Handler returns the HTTP surface of the server:
@@ -20,23 +21,37 @@ import (
 //	GET /mr-diameter?graph=G[&tau=T][&seed=S]
 //	GET /kcenter?graph=G&k=K[&seed=S]
 //	GET /stats
+//	GET /builds
+//	GET /metrics
 //	GET /healthz
 //
-// All endpoints answer JSON. Missing or malformed parameters are 400,
-// unknown graphs 404, cancelled/timed-out requests 503.
+// All endpoints answer JSON except /metrics, which answers the Prometheus
+// text exposition format. Missing or malformed parameters are 400,
+// unknown graphs 404, cancelled/timed-out requests 503. Every endpoint
+// runs under the instrumentation middleware: responses carry an
+// X-Request-ID header, and each request lands in the per-path request
+// counter and latency histogram /metrics exports.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/distance", s.wrap(s.handleDistance))
-	mux.HandleFunc("/cluster-of", s.wrap(s.handleClusterOf))
-	mux.HandleFunc("/diameter", s.wrap(s.handleDiameter))
-	mux.HandleFunc("/mr-diameter", s.wrap(s.handleMRDiameter))
-	mux.HandleFunc("/kcenter", s.wrap(s.handleKCenter))
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		s.met.requests.Add(1)
+	handle := func(path string, h http.HandlerFunc) {
+		mux.Handle(path, s.instrument(path, h))
+	}
+	handle("/distance", s.wrap(s.handleDistance))
+	handle("/cluster-of", s.wrap(s.handleClusterOf))
+	handle("/diameter", s.wrap(s.handleDiameter))
+	handle("/mr-diameter", s.wrap(s.handleMRDiameter))
+	handle("/kcenter", s.wrap(s.handleKCenter))
+	handle("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		s.met.requests.Add(1)
+	handle("/builds", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.BuildTraces())
+	})
+	handle("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.ContentType)
+		_ = s.met.reg.WritePrometheus(w)
+	})
+	handle("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "graphs": s.GraphNames()})
 	})
 	return mux
@@ -54,15 +69,14 @@ func badRequest(format string, args ...any) error {
 	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
 }
 
-// wrap is the shared request pipeline: count the request, take a bounded
-// worker slot (honouring client disconnect while queued), run the handler,
-// and map errors to JSON error bodies.
+// wrap is the shared request pipeline: take a bounded worker slot
+// (honouring client disconnect while queued), run the handler, and map
+// errors to JSON error bodies. Request counting and latency live in the
+// instrument middleware wrapped around it.
 func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.met.requests.Add(1)
 		if err := s.acquire(r.Context()); err != nil {
 			s.met.rejected.Add(1)
-			s.met.errors.Add(1)
 			writeJSON(w, http.StatusServiceUnavailable, errBody(err))
 			return
 		}
@@ -84,7 +98,6 @@ func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 			case errors.Is(err, ErrUnknownGraph):
 				status = http.StatusNotFound
 			}
-			s.met.errors.Add(1)
 			writeJSON(w, status, errBody(err))
 			return
 		}
@@ -221,8 +234,7 @@ func (s *Server) handleDistance(r *http.Request) (any, error) {
 	start := time.Now()
 	d := o.Query(u, v)
 	lower := o.LowerQuery(u, v)
-	s.met.queries.Add(1)
-	s.met.queryNs.Add(time.Since(start).Nanoseconds())
+	s.met.queryLatency.Observe(time.Since(start).Seconds())
 	resp := DistanceResponse{
 		Graph:     p.graph,
 		U:         u,
@@ -285,8 +297,7 @@ func (s *Server) handleClusterOf(r *http.Request) (any, error) {
 		ClusterRadius: cl.Radii[c],
 		NumClusters:   cl.NumClusters(),
 	}
-	s.met.queries.Add(1)
-	s.met.queryNs.Add(time.Since(start).Nanoseconds())
+	s.met.queryLatency.Observe(time.Since(start).Seconds())
 	return resp, nil
 }
 

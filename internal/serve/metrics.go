@@ -4,34 +4,149 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// metrics aggregates request/build counters with atomics so the hot query
-// path never takes the server lock. Snapshot renders them for /stats.
+// metrics is the server's instrument set, backed by the obs registry that
+// /metrics renders. The hot paths (queries, observer callbacks) touch only
+// lock-free instruments; /stats reads the same instruments, so the two
+// surfaces can never disagree. A few aggregates that exist only for
+// /stats' derived averages (total request count, cumulative build time)
+// stay plain atomics beside the registry.
 type metrics struct {
-	requests  atomic.Int64 // all HTTP requests
-	errors    atomic.Int64 // requests answered with a non-2xx status
-	queries   atomic.Int64 // point queries served (distance + cluster-of)
-	queryNs   atomic.Int64 // cumulative handling time of point queries
-	hits      atomic.Int64 // artifact cache hits (incl. joins on in-flight builds)
-	misses    atomic.Int64 // artifact cache misses (each triggers one build)
-	builds    atomic.Int64 // builds actually executed
-	buildNs   atomic.Int64 // cumulative build time
-	installs  atomic.Int64 // artifacts installed from snapshots
-	evictions atomic.Int64 // artifacts dropped by the LRU cache bound
-	rejected  atomic.Int64 // requests cancelled while queued for a worker
-	inFlight  atomic.Int64 // requests currently holding a worker slot
-	cancelled atomic.Int64 // builds cancelled after their last waiter left
+	reg *obs.Registry
+
+	// HTTP surface (middleware.go).
+	httpRequests *obs.CounterVec   // {path, code}
+	httpLatency  *obs.HistogramVec // {path}
+	httpInFlight *obs.Gauge        // requests between middleware entry and exit
+	requests     atomic.Int64      // aggregate across paths, for /stats
+	errors       *obs.Counter      // responses with status >= 400
+	rejected     *obs.Counter      // requests cancelled while queued for a worker slot
+	inFlight     *obs.Gauge        // requests holding a worker slot
+	queryLatency *obs.Histogram    // point-query handling time (distance + cluster-of)
+
+	// Artifact cache and builds.
+	hits         *obs.Counter
+	misses       *obs.Counter
+	evictions    *obs.Counter
+	installs     *obs.Counter
+	builds       *obs.Counter
+	cancelled    *obs.Counter
+	buildLatency *obs.HistogramVec // {kind}
+	buildNs      atomic.Int64      // cumulative build time, for /stats' average
+
+	// Engine progress totals, fed by the build observers: the paper's cost
+	// units (rounds, arcs-scanned messages, relaxations, buckets, MR
+	// shuffle volume) as live server-wide counters.
+	engRounds      *obs.Counter
+	engPullRounds  *obs.Counter
+	engArcs        *obs.Counter
+	engRelaxations *obs.Counter
+	engBuckets     *obs.Counter
+	mrRounds       *obs.Counter
+	mrPairs        *obs.Counter
+}
+
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{reg: reg}
+	m.httpRequests = reg.CounterVec("reprod_http_requests_total",
+		"HTTP requests served, by endpoint path and status code.", "path", "code")
+	m.httpLatency = reg.HistogramVec("reprod_http_request_duration_seconds",
+		"End-to-end request latency by endpoint, including worker-slot queueing and any artifact build the request waited out.",
+		obs.DefBuckets, "path")
+	m.httpInFlight = reg.Gauge("reprod_http_in_flight_requests",
+		"Requests currently being handled.")
+	m.errors = reg.Counter("reprod_http_errors_total",
+		"Requests answered with status >= 400.")
+	m.rejected = reg.Counter("reprod_requests_rejected_total",
+		"Requests whose client disconnected while queued for a worker slot.")
+	m.inFlight = reg.Gauge("reprod_request_slots_in_use",
+		"Requests currently holding one of the bounded worker slots.")
+	m.queryLatency = reg.Histogram("reprod_point_query_duration_seconds",
+		"Handling time of point queries (distance, cluster-of) against a completed artifact.",
+		obs.DefBuckets)
+	m.hits = reg.Counter("reprod_artifact_cache_hits_total",
+		"Artifact cache hits, including joins on in-flight builds.")
+	m.misses = reg.Counter("reprod_artifact_cache_misses_total",
+		"Artifact cache misses; each one starts a detached build.")
+	m.evictions = reg.Counter("reprod_artifact_cache_evictions_total",
+		"Completed artifacts dropped by the LRU cache bound.")
+	m.installs = reg.Counter("reprod_snapshot_installs_total",
+		"Artifacts installed from persisted snapshots instead of builds.")
+	m.builds = reg.Counter("reprod_builds_total",
+		"Detached artifact builds that acquired a build-pool slot and ran.")
+	m.cancelled = reg.Counter("reprod_builds_cancelled_total",
+		"Builds cancelled mid-flight because their last waiter left or the server drained.")
+	m.buildLatency = reg.HistogramVec("reprod_build_duration_seconds",
+		"Wall-clock build duration by artifact kind (oracle, diameter, mrdiameter, kcenter).",
+		obs.BuildBuckets, "kind")
+	m.engRounds = reg.Counter("reprod_engine_bsp_rounds_total",
+		"BSP supersteps executed by artifact builds.")
+	m.engPullRounds = reg.Counter("reprod_engine_pull_rounds_total",
+		"BSP supersteps that ran bottom-up (pull direction).")
+	m.engArcs = reg.Counter("reprod_engine_arcs_scanned_total",
+		"Arcs scanned by artifact builds, the paper's message-volume unit.")
+	m.engRelaxations = reg.Counter("reprod_engine_relaxations_total",
+		"Weighted edge relaxations offered by delta-stepping builds.")
+	m.engBuckets = reg.Counter("reprod_engine_buckets_total",
+		"Delta-stepping buckets settled by artifact builds.")
+	m.mrRounds = reg.Counter("reprod_mr_rounds_total",
+		"MR(MG, ML) rounds committed by mr-diameter builds.")
+	m.mrPairs = reg.Counter("reprod_mr_pairs_shuffled_total",
+		"Pairs moved by the MR shuffle across all committed rounds.")
+	return m
+}
+
+// registerServerGauges registers the scrape-time gauges that read state
+// living on the server itself (cache occupancy, pool occupancy) — exposed
+// as GaugeFuncs so the numbers are never double-booked. Called once from
+// New, after the channels and maps exist.
+func (s *Server) registerServerGauges() {
+	reg := s.met.reg
+	reg.GaugeFunc("reprod_artifact_cache_entries",
+		"Artifact cache slots in use, completed and in-flight.", func() float64 {
+			s.mu.RLock()
+			n := len(s.cache)
+			s.mu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("reprod_artifact_cache_capacity",
+		"Configured artifact cache bound (Config.MaxArtifacts).", func() float64 {
+			return float64(s.cfg.MaxArtifacts)
+		})
+	reg.GaugeFunc("reprod_builds_in_flight",
+		"Detached builds currently queued or running.", func() float64 {
+			return float64(s.buildingCount())
+		})
+	reg.GaugeFunc("reprod_build_pool_occupancy",
+		"Build-pool slots currently held by running builds.", func() float64 {
+			return float64(len(s.buildSem))
+		})
+	reg.GaugeFunc("reprod_build_pool_size",
+		"Configured build-pool bound (Config.Workers).", func() float64 {
+			return float64(cap(s.buildSem))
+		})
+	reg.GaugeFunc("reprod_graphs",
+		"Graphs registered and queryable.", func() float64 {
+			s.mu.RLock()
+			n := len(s.graphs)
+			s.mu.RUnlock()
+			return float64(n)
+		})
 }
 
 // buildTimer returns a stop closure that records the build in the
 // aggregate counters and reports its duration (so callers can attach the
-// same measurement to the per-artifact cost line).
+// same measurement to the per-artifact cost line and the per-kind
+// duration histogram).
 func (m *metrics) buildTimer() func() time.Duration {
 	start := time.Now()
 	return func() time.Duration {
 		d := time.Since(start)
-		m.builds.Add(1)
+		m.builds.Inc()
 		m.buildNs.Add(d.Nanoseconds())
 		return d
 	}
@@ -60,29 +175,31 @@ type Stats struct {
 	Artifacts       int   `json:"artifacts"`
 	// ArtifactDetails lists the build cost of every completed cached
 	// artifact (BSP rounds with the bottom-up share, messages, max
-	// frontier, build wall-clock), sorted by key for stable output.
+	// frontier, build wall-clock), sorted by key for stable output. Each
+	// entry built by this process (rather than installed from a snapshot)
+	// carries its build trace.
 	ArtifactDetails []ArtifactCost `json:"artifact_details"`
 }
 
 // Stats returns a point-in-time view of the server's counters.
 func (s *Server) Stats() Stats {
-	m := &s.met
+	m := s.met
 	st := Stats{
 		Requests:        m.requests.Load(),
-		Errors:          m.errors.Load(),
-		Queries:         m.queries.Load(),
-		CacheHits:       m.hits.Load(),
-		CacheMisses:     m.misses.Load(),
-		Builds:          m.builds.Load(),
-		Installs:        m.installs.Load(),
-		Evictions:       m.evictions.Load(),
-		Rejected:        m.rejected.Load(),
-		InFlight:        m.inFlight.Load(),
-		CancelledBuilds: m.cancelled.Load(),
+		Errors:          m.errors.Value(),
+		Queries:         m.queryLatency.Count(),
+		CacheHits:       m.hits.Value(),
+		CacheMisses:     m.misses.Value(),
+		Builds:          m.builds.Value(),
+		Installs:        m.installs.Value(),
+		Evictions:       m.evictions.Value(),
+		Rejected:        m.rejected.Value(),
+		InFlight:        m.inFlight.Value(),
+		CancelledBuilds: m.cancelled.Value(),
 		Workers:         s.cfg.Workers,
 	}
 	if st.Queries > 0 {
-		st.AvgQueryMicros = float64(m.queryNs.Load()) / float64(st.Queries) / 1e3
+		st.AvgQueryMicros = m.queryLatency.Sum() / float64(st.Queries) * 1e6
 	}
 	if st.Builds > 0 {
 		st.AvgBuildMillis = float64(m.buildNs.Load()) / float64(st.Builds) / 1e6

@@ -56,7 +56,7 @@ func (s *Server) MRDiameter(ctx context.Context, name string, tau int, seed uint
 		if err != nil {
 			return nil, err
 		}
-		cl, err := core.ClusterContext(bctx, g, key.Tau, s.buildOptions(seed))
+		cl, err := core.ClusterContext(bctx, g, key.Tau, s.buildOptions(bctx, seed))
 		if err != nil {
 			return nil, err
 		}
@@ -70,6 +70,7 @@ func (s *Server) MRDiameter(ctx context.Context, name string, tau int, seed uint
 		}
 		eng := mr.NewEngine(mr.Config{Shards: s.cfg.BuildWorkers})
 		eng.SetContext(bctx)
+		eng.SetObserver(s.mrObserver(bctx))
 		defer eng.Close()
 		diam, err := eng.DiameterByRepeatedSquaring(wq)
 		if err != nil {

@@ -20,6 +20,18 @@
 // installed at startup, so a restart skips the rebuild entirely; Shutdown
 // cancels the in-flight builds and drains their goroutines for a graceful
 // exit.
+//
+// The server is fully observable while it runs. Every handler sits behind
+// middleware that stamps an X-Request-ID, counts requests per path and
+// status, and records latency histograms; GET /metrics exports the whole
+// surface (cache, build pool, engine work counters) as Prometheus text
+// exposition via internal/obs. Each detached build accumulates a
+// structured lifecycle trace — enqueue, slot acquisition, live engine
+// counters streamed from the BSP/MR observer hooks at their barriers,
+// waiter high-water mark, terminal state — served by GET /builds
+// (in-flight plus a ring of recent builds) and attached to the artifact's
+// cost line in /stats. See README.md's Observability section for the
+// metric and trace schema.
 package serve
 
 import (
@@ -71,6 +83,12 @@ type Config struct {
 	// artifact is evicted; if every slot is an in-flight build, new keys
 	// are rejected with ErrCacheFull. Non-positive selects 128.
 	MaxArtifacts int
+
+	// RequestLog, when non-nil, receives one entry per completed HTTP
+	// request from the instrumentation middleware — the daemon's
+	// structured request log. It runs on the request goroutine after the
+	// response is written, so it must not block.
+	RequestLog func(RequestLogEntry)
 }
 
 // Key identifies a build artifact: which graph, which algorithm, and the
@@ -125,6 +143,11 @@ type ArtifactCost struct {
 	MRPairsShuffled int64          `json:"mr_pairs_shuffled,omitempty"`
 	MRMaxReducer    int            `json:"mr_max_reducer_input,omitempty"`
 	MRRoundStats    []mr.RoundStat `json:"mr_round_stats,omitempty"`
+
+	// Trace is the build's full lifecycle trace (enqueue → slot → engine
+	// rounds → completion, with the waiter high-water mark). Absent for
+	// artifacts installed from snapshots, which were never built here.
+	Trace *BuildTraceInfo `json:"trace,omitempty"`
 }
 
 // entry is a cache slot. ready is closed when val/err are set; concurrent
@@ -144,6 +167,10 @@ type entry struct {
 	err      error
 	cost     *ArtifactCost
 	lastUsed atomic.Int64
+
+	// trace is the build's lifecycle trace (nil for snapshot installs,
+	// whose artifact was never built here).
+	trace *buildTrace
 
 	// Guarded by Server.mu.
 	waiters int
@@ -185,7 +212,18 @@ type Server struct {
 	// s.mu with draining false, so it cannot race the Wait in Shutdown.
 	buildWG sync.WaitGroup
 
-	met metrics
+	met *metrics
+
+	// Request-id minting (middleware.go).
+	idBase string
+	reqSeq atomic.Int64
+
+	// Build tracing (trace.go): in-flight traces by build id, plus a
+	// bounded ring of completed ones, newest first.
+	traceMu     sync.Mutex
+	nextBuildID atomic.Int64
+	building    map[int64]*buildTrace
+	recent      []BuildTraceInfo
 }
 
 // New returns a Server with an empty graph registry.
@@ -196,13 +234,18 @@ func New(cfg Config) *Server {
 	if cfg.MaxArtifacts <= 0 {
 		cfg.MaxArtifacts = 128
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
 		buildSem: make(chan struct{}, cfg.Workers),
 		graphs:   make(map[string]*graph.Graph),
 		cache:    make(map[Key]*entry),
+		met:      newMetrics(),
+		idBase:   fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff),
+		building: make(map[int64]*buildTrace),
 	}
+	s.registerServerGauges()
+	return s
 }
 
 // RegisterGraph makes g queryable under the given name, replacing any
@@ -337,12 +380,19 @@ func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.C
 	// Fast path: completed entries (the steady state of the query
 	// workload) only take the read lock, so concurrent queries never
 	// serialize on s.mu.
+	ri := requestInfoFrom(ctx)
+	if ri != nil {
+		ri.artifactKey = key.String()
+	}
 	s.mu.RLock()
 	e, ok := s.cache[key]
 	s.mu.RUnlock()
 	if ok && e.completed() {
 		e.lastUsed.Store(s.clock.Add(1))
 		s.met.hits.Add(1)
+		if ri != nil {
+			ri.cache = "hit"
+		}
 		return e.val, e.err
 	}
 
@@ -363,25 +413,39 @@ func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.C
 				return nil, ErrCacheFull
 			}
 		}
-		bctx, cancel := context.WithCancel(context.Background())
-		e = &entry{ready: make(chan struct{}), cancel: cancel, waiters: 1}
+		tr := s.startTrace(key)
+		tr.setWaiters(1)
+		bctx, cancel := context.WithCancel(withTrace(context.Background(), tr))
+		e = &entry{ready: make(chan struct{}), cancel: cancel, waiters: 1, trace: tr}
 		e.lastUsed.Store(s.clock.Add(1))
 		s.cache[key] = e
 		s.buildWG.Add(1)
 		go s.runBuild(bctx, key, e, build)
 		s.mu.Unlock()
+		if ri != nil {
+			ri.cache = "miss"
+		}
 		return s.await(ctx, key, e, false)
 	case e.completed():
 		// Completed between the two lock acquisitions.
 		e.lastUsed.Store(s.clock.Add(1))
 		s.mu.Unlock()
 		s.met.hits.Add(1)
+		if ri != nil {
+			ri.cache = "hit"
+		}
 		return e.val, e.err
 	default:
 		// In flight: join as a waiter.
 		e.waiters++
+		if e.trace != nil {
+			e.trace.setWaiters(e.waiters)
+		}
 		e.lastUsed.Store(s.clock.Add(1))
 		s.mu.Unlock()
+		if ri != nil {
+			ri.cache = "join"
+		}
 		return s.await(ctx, key, e, true)
 	}
 }
@@ -395,6 +459,9 @@ func (s *Server) await(ctx context.Context, key Key, e *entry, joined bool) (any
 	case <-e.ready:
 		s.mu.Lock()
 		e.waiters--
+		if e.trace != nil {
+			e.trace.setWaiters(e.waiters)
+		}
 		s.mu.Unlock()
 		if e.err != nil {
 			return nil, e.err
@@ -406,6 +473,9 @@ func (s *Server) await(ctx context.Context, key Key, e *entry, joined bool) (any
 	case <-ctx.Done():
 		s.mu.Lock()
 		e.waiters--
+		if e.trace != nil {
+			e.trace.setWaiters(e.waiters)
+		}
 		if e.waiters == 0 && !e.completed() && e.cancel != nil {
 			// Last waiter gone mid-build: stop the engines, and drop the
 			// doomed entry NOW rather than when the build unwinds at its
@@ -513,7 +583,9 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 		s.finishBuild(key, e, nil, ctx.Err(), 0)
 		return
 	}
+	e.trace.markRunning()
 	stop := s.met.buildTimer()
+	var panicked bool
 	val, err := func() (val any, err error) {
 		// On the old request-goroutine builds, net/http's per-connection
 		// recover contained a panicking build to one failed request; a
@@ -522,13 +594,18 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 		// daemon crash.
 		defer func() {
 			if r := recover(); r != nil {
+				panicked = true
 				val, err = nil, fmt.Errorf("serve: build %v panicked: %v", key, r)
 			}
 		}()
 		return build(ctx)
 	}()
 	elapsed := stop()
+	s.met.buildLatency.With(key.Kind).Observe(elapsed.Seconds())
 	<-s.buildSem
+	if panicked {
+		e.trace.markPanicked()
+	}
 	s.finishBuild(key, e, val, err, elapsed)
 }
 
@@ -537,13 +614,35 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 // one critical section, so waiter bookkeeping never sees a half-published
 // entry.
 func (s *Server) finishBuild(key Key, e *entry, val any, err error, elapsed time.Duration) {
+	// Resolve the terminal trace state before publishing, so a waiter that
+	// wakes on ready and immediately scrapes /builds sees the final state.
+	state := BuildDone
+	switch {
+	case err == nil:
+	case e.trace.didPanic():
+		state = BuildPanicked
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		state = BuildCancelled
+	default:
+		state = BuildFailed
+	}
+	errMsg := ""
+	if err != nil {
+		errMsg = err.Error()
+	}
+	e.trace.finish(state, errMsg)
+
 	s.mu.Lock()
 	e.val, e.err = val, err
 	if err == nil {
 		millis := float64(elapsed.Nanoseconds()) / 1e6
 		e.cost = costFor(key, "build", millis, val)
+		if e.cost != nil {
+			tr := e.trace.info()
+			e.cost.Trace = &tr
+		}
 	} else {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if state == BuildCancelled {
 			s.met.cancelled.Add(1)
 		}
 		// Only drop the entry if it is still ours: RegisterGraph may have
@@ -554,6 +653,7 @@ func (s *Server) finishBuild(key Key, e *entry, val any, err error, elapsed time
 	}
 	close(e.ready)
 	s.mu.Unlock()
+	s.endTrace(e.trace)
 }
 
 // Shutdown cancels every in-flight build, rejects builds requested from
@@ -635,7 +735,7 @@ func (s *Server) Oracle(ctx context.Context, name string, tau int, seed uint64, 
 		if err != nil {
 			return nil, err
 		}
-		return core.BuildOracle(bctx, g, key.Tau, useCluster2, s.buildOptions(seed))
+		return core.BuildOracle(bctx, g, key.Tau, useCluster2, s.buildOptions(bctx, seed))
 	})
 	if err != nil {
 		return nil, err
@@ -663,7 +763,7 @@ func (s *Server) Diameter(ctx context.Context, name string, tau int, seed uint64
 			return nil, err
 		}
 		return core.ApproxDiameter(bctx, g, core.DiameterOptions{
-			Options:     s.buildOptions(seed),
+			Options:     s.buildOptions(bctx, seed),
 			Tau:         key.Tau,
 			UseCluster2: useCluster2,
 		})
@@ -688,7 +788,7 @@ func (s *Server) KCenter(ctx context.Context, name string, k int, seed uint64) (
 		if err != nil {
 			return nil, err
 		}
-		return core.KCenter(bctx, g, k, s.buildOptions(seed))
+		return core.KCenter(bctx, g, k, s.buildOptions(bctx, seed))
 	})
 	if err != nil {
 		return nil, err
@@ -750,8 +850,15 @@ func (s *Server) SnapshotArtifact(ctx context.Context, name string, tau int, see
 	return oracleArtifact(key, o), nil
 }
 
-func (s *Server) buildOptions(seed uint64) core.Options {
-	return core.Options{Seed: seed, Workers: s.cfg.BuildWorkers}
+// buildOptions assembles the core.Options for a build running under bctx:
+// the configured parallelism plus the observer that feeds the server-wide
+// engine counters and the build's trace (carried on bctx by artifact).
+func (s *Server) buildOptions(bctx context.Context, seed uint64) core.Options {
+	return core.Options{
+		Seed:     seed,
+		Workers:  s.cfg.BuildWorkers,
+		Observer: s.buildObserver(traceFrom(bctx)),
+	}
 }
 
 func parseAlgorithm(algorithm string) (useCluster2 bool, err error) {

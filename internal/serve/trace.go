@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bsp"
+	"repro/internal/mr"
+)
+
+// Build lifecycle states, in the order a build moves through them. Every
+// build ends in exactly one of the four terminal states.
+const (
+	BuildQueued    = "queued"    // waiting for a build-pool slot
+	BuildRunning   = "running"   // engines executing
+	BuildDone      = "done"      // artifact published
+	BuildCancelled = "cancelled" // last waiter left (or the server drained)
+	BuildFailed    = "failed"    // build returned a non-cancellation error
+	BuildPanicked  = "panicked"  // build panicked; recovered into a failed entry
+)
+
+// recentBuilds bounds the ring of completed build traces /builds retains.
+const recentBuilds = 64
+
+// buildTrace accumulates the structured lifecycle of one detached build:
+// the enqueue → slot-acquired → engine-rounds → terminal-state timeline,
+// the waiter high-water mark, and the live engine counters fed by the
+// build's observers. The counter fields are atomics because the oracle's
+// APSP fan-out runs one observing engine per worker goroutine; the
+// timeline fields are guarded by mu and change a handful of times per
+// build.
+type buildTrace struct {
+	id  int64
+	key Key
+
+	// Engine progress, accumulated concurrently by observer callbacks.
+	rounds      atomic.Int64
+	pullRounds  atomic.Int64
+	arcs        atomic.Int64
+	relaxations atomic.Int64
+	buckets     atomic.Int64
+	maxFrontier atomic.Int64
+	mrRounds    atomic.Int64
+	mrPairs     atomic.Int64
+
+	// Waiter bookkeeping, written under Server.mu alongside entry.waiters.
+	waiters    atomic.Int64
+	waiterHigh atomic.Int64
+
+	mu         sync.Mutex
+	state      string
+	enqueuedAt time.Time
+	slotAt     time.Time // zero until the build-pool slot is acquired
+	finishedAt time.Time // zero until terminal
+	errMsg     string
+	panicked   bool
+}
+
+func newBuildTrace(id int64, key Key) *buildTrace {
+	return &buildTrace{id: id, key: key, state: BuildQueued, enqueuedAt: time.Now()}
+}
+
+// observeBSP folds one engine progress delta in; it is the bsp.Observer
+// target for every engine the build creates.
+func (t *buildTrace) observeBSP(d bsp.Stats) {
+	t.rounds.Add(int64(d.Rounds))
+	t.pullRounds.Add(int64(d.PullRounds))
+	t.arcs.Add(d.Messages)
+	t.relaxations.Add(d.Relaxations)
+	t.buckets.Add(int64(d.Buckets))
+	maxStore(&t.maxFrontier, int64(d.MaxFrontier))
+}
+
+// observeMR folds one committed MR round in.
+func (t *buildTrace) observeMR(rs mr.RoundStat) {
+	t.mrRounds.Add(1)
+	t.mrPairs.Add(rs.PairsIn)
+}
+
+// setWaiters records the current waiter count (and its high-water mark).
+// Called wherever entry.waiters changes, under Server.mu.
+func (t *buildTrace) setWaiters(n int) {
+	t.waiters.Store(int64(n))
+	maxStore(&t.waiterHigh, int64(n))
+}
+
+func maxStore(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// markRunning stamps the build-pool slot acquisition.
+func (t *buildTrace) markRunning() {
+	t.mu.Lock()
+	t.state = BuildRunning
+	t.slotAt = time.Now()
+	t.mu.Unlock()
+}
+
+// markPanicked flags the build as recovered-from-panic, so the terminal
+// state distinguishes it from an ordinary failure.
+func (t *buildTrace) markPanicked() {
+	t.mu.Lock()
+	t.panicked = true
+	t.mu.Unlock()
+}
+
+func (t *buildTrace) didPanic() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.panicked
+}
+
+// finish stamps the terminal state. errMsg is empty for BuildDone.
+func (t *buildTrace) finish(state, errMsg string) {
+	t.mu.Lock()
+	t.state = state
+	t.errMsg = errMsg
+	t.finishedAt = time.Now()
+	t.mu.Unlock()
+}
+
+// BuildTraceInfo is the JSON snapshot of one build's trace, served by
+// /builds and attached to the artifact's cost line in /stats. For an
+// in-flight build RunMillis is the time spent so far and the engine
+// counters are live — two scrapes of the same running build see them grow.
+type BuildTraceInfo struct {
+	ID    int64  `json:"id"`
+	Key   string `json:"key"`
+	State string `json:"state"`
+
+	EnqueuedAt     time.Time `json:"enqueued_at"`
+	SlotWaitMillis float64   `json:"slot_wait_millis"` // enqueue → build-pool slot
+	RunMillis      float64   `json:"run_millis"`       // slot → now (running) or terminal state
+
+	Waiters         int64 `json:"waiters"`
+	WaiterHighWater int64 `json:"waiter_high_water"`
+
+	BSPRounds      int64 `json:"bsp_rounds"`
+	BSPPullRounds  int64 `json:"bsp_pull_rounds"`
+	ArcsScanned    int64 `json:"arcs_scanned"`
+	Relaxations    int64 `json:"relaxations"`
+	BucketsSettled int64 `json:"buckets_settled"`
+	MaxFrontier    int64 `json:"max_frontier"`
+
+	MRRounds        int64 `json:"mr_rounds,omitempty"`
+	MRPairsShuffled int64 `json:"mr_pairs_shuffled,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// info snapshots the trace.
+func (t *buildTrace) info() BuildTraceInfo {
+	t.mu.Lock()
+	inf := BuildTraceInfo{
+		ID:         t.id,
+		Key:        t.key.String(),
+		State:      t.state,
+		EnqueuedAt: t.enqueuedAt,
+		Error:      t.errMsg,
+	}
+	switch {
+	case !t.slotAt.IsZero():
+		inf.SlotWaitMillis = millisBetween(t.enqueuedAt, t.slotAt)
+		end := t.finishedAt
+		if end.IsZero() {
+			end = time.Now()
+		}
+		inf.RunMillis = millisBetween(t.slotAt, end)
+	case !t.finishedAt.IsZero():
+		// Terminal without ever acquiring a slot (cancelled while queued):
+		// the whole lifetime was slot wait.
+		inf.SlotWaitMillis = millisBetween(t.enqueuedAt, t.finishedAt)
+	default:
+		inf.SlotWaitMillis = millisBetween(t.enqueuedAt, time.Now())
+	}
+	t.mu.Unlock()
+	inf.Waiters = t.waiters.Load()
+	inf.WaiterHighWater = t.waiterHigh.Load()
+	inf.BSPRounds = t.rounds.Load()
+	inf.BSPPullRounds = t.pullRounds.Load()
+	inf.ArcsScanned = t.arcs.Load()
+	inf.Relaxations = t.relaxations.Load()
+	inf.BucketsSettled = t.buckets.Load()
+	inf.MaxFrontier = t.maxFrontier.Load()
+	inf.MRRounds = t.mrRounds.Load()
+	inf.MRPairsShuffled = t.mrPairs.Load()
+	return inf
+}
+
+func millisBetween(a, b time.Time) float64 {
+	return float64(b.Sub(a).Nanoseconds()) / 1e6
+}
+
+// startTrace mints a trace for a new detached build and registers it as
+// in-flight.
+func (s *Server) startTrace(key Key) *buildTrace {
+	tr := newBuildTrace(s.nextBuildID.Add(1), key)
+	s.traceMu.Lock()
+	s.building[tr.id] = tr
+	s.traceMu.Unlock()
+	return tr
+}
+
+// endTrace moves a terminal trace from the in-flight set to the recent
+// ring (newest first, bounded at recentBuilds).
+func (s *Server) endTrace(tr *buildTrace) {
+	inf := tr.info()
+	s.traceMu.Lock()
+	delete(s.building, tr.id)
+	s.recent = append(s.recent, BuildTraceInfo{})
+	copy(s.recent[1:], s.recent)
+	s.recent[0] = inf
+	if len(s.recent) > recentBuilds {
+		s.recent = s.recent[:recentBuilds]
+	}
+	s.traceMu.Unlock()
+}
+
+// buildingCount returns the number of in-flight builds (queued or
+// running), feeding the reprod_builds_in_flight gauge.
+func (s *Server) buildingCount() int {
+	s.traceMu.Lock()
+	n := len(s.building)
+	s.traceMu.Unlock()
+	return n
+}
+
+// BuildTracesResponse is the JSON shape of /builds: every in-flight build
+// (queued or running, engine counters live) plus the most recent
+// completed ones, newest first.
+type BuildTracesResponse struct {
+	InFlight []BuildTraceInfo `json:"in_flight"`
+	Recent   []BuildTraceInfo `json:"recent"`
+}
+
+// BuildTraces snapshots the build tracing state behind /builds.
+func (s *Server) BuildTraces() BuildTracesResponse {
+	s.traceMu.Lock()
+	inFlight := make([]BuildTraceInfo, 0, len(s.building))
+	for _, tr := range s.building {
+		inFlight = append(inFlight, tr.info())
+	}
+	recent := append([]BuildTraceInfo(nil), s.recent...)
+	s.traceMu.Unlock()
+	sort.Slice(inFlight, func(i, j int) bool { return inFlight[i].ID < inFlight[j].ID })
+	return BuildTracesResponse{InFlight: inFlight, Recent: recent}
+}
+
+// traceCtxKey carries the buildTrace on the detached build's context, so
+// the build closures reach it through the ctx they already receive — the
+// artifact build signature stays observer-agnostic.
+type traceCtxKey struct{}
+
+func withTrace(ctx context.Context, tr *buildTrace) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+func traceFrom(ctx context.Context) *buildTrace {
+	tr, _ := ctx.Value(traceCtxKey{}).(*buildTrace)
+	return tr
+}
+
+// buildObserver returns the bsp.Observer installed on every engine of a
+// build: it feeds both the server-wide engine counters (/metrics) and the
+// build's own trace (/builds). Safe for concurrent use, as the Observer
+// contract requires.
+func (s *Server) buildObserver(tr *buildTrace) bsp.Observer {
+	m := s.met
+	return func(d bsp.Stats) {
+		m.engRounds.Add(int64(d.Rounds))
+		m.engPullRounds.Add(int64(d.PullRounds))
+		m.engArcs.Add(d.Messages)
+		m.engRelaxations.Add(d.Relaxations)
+		m.engBuckets.Add(int64(d.Buckets))
+		if tr != nil {
+			tr.observeBSP(d)
+		}
+	}
+}
+
+// mrObserver is the MR counterpart, installed on the engine behind
+// /mr-diameter builds.
+func (s *Server) mrObserver(ctx context.Context) func(mr.RoundStat) {
+	tr := traceFrom(ctx)
+	m := s.met
+	return func(rs mr.RoundStat) {
+		m.mrRounds.Inc()
+		m.mrPairs.Add(rs.PairsIn)
+		if tr != nil {
+			tr.observeMR(rs)
+		}
+	}
+}
