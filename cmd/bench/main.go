@@ -1,13 +1,14 @@
 // Command bench runs the serving tier's fixed perf trajectory and writes
-// the result as JSON (BENCH_6.json in-repo). It exercises the three hot
-// paths the observability PR instruments — a cold oracle build, the
-// /distance point-query path over HTTP, and the MR diameter pipeline —
-// and reports wall-clock alongside the engines' own work counters, so a
-// regression in either time or algorithmic work shows up as a diff.
+// the result as JSON (BENCH_7.json in-repo). It exercises the hot paths
+// the serving PRs instrument — a cold oracle build, the /distance
+// point-query path over HTTP, the batch-first /distance-batch path, and
+// the MR diameter pipeline — and reports wall-clock alongside the
+// engines' own work counters, so a regression in either time or
+// algorithmic work shows up as a diff.
 //
 // Usage:
 //
-//	bench [-o BENCH_6.json] [-queries 2000] [-workers 0]
+//	bench [-o BENCH_7.json] [-queries 2000] [-batches 50] [-workers 0]
 //
 // The workload is fixed (graphs, tau, seeds) so successive runs are
 // comparable; only the machine varies, which is why the environment block
@@ -15,7 +16,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +28,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"testing"
 	"time"
 
 	"repro/internal/graph"
@@ -32,11 +36,14 @@ import (
 	"repro/internal/serve"
 )
 
-// Report is the BENCH_6.json schema.
+// Report is the BENCH_7.json schema. It keeps every BENCH_6 section
+// (env, oracle_build, serve_distance, mr_diameter) and adds the
+// distance_batch section introduced with the batch-first query path.
 type Report struct {
 	Env    Env         `json:"env"`
 	Oracle OracleBench `json:"oracle_build"`
 	Serve  ServeBench  `json:"serve_distance"`
+	Batch  BatchBench  `json:"distance_batch"`
 	MR     MRBench     `json:"mr_diameter"`
 }
 
@@ -72,6 +79,22 @@ type ServeBench struct {
 	AvgMicros float64 `json:"avg_micros"`
 }
 
+// BatchBench is the warm /distance-batch path over HTTP with the dense
+// binary encoding: whole-batch latency distribution, throughput in
+// pairs/sec, and the speedup over issuing the same pairs as sequential
+// point queries (ServeBench's workload). AllocsPerPair pins the
+// zero-allocation guarantee on the oracle's batch kernel.
+type BatchBench struct {
+	Batches        int     `json:"batches"`
+	PairsPerBatch  int     `json:"pairs_per_batch"`
+	P50Micros      float64 `json:"p50_batch_micros"`
+	P99Micros      float64 `json:"p99_batch_micros"`
+	PairsPerSec    float64 `json:"pairs_per_sec"`
+	PointPairsSec  float64 `json:"point_pairs_per_sec"`
+	SpeedupVsPoint float64 `json:"speedup_vs_point"`
+	AllocsPerPair  float64 `json:"allocs_per_pair"`
+}
+
 // MRBench is the Section 5 diameter path on the sharded MR runtime:
 // CLUSTER(τ) then repeated min-plus squaring, on Mesh(60,60).
 type MRBench struct {
@@ -86,8 +109,9 @@ type MRBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_7.json", "output file (- for stdout)")
 	queries := flag.Int("queries", 2000, "point queries for the latency distribution")
+	batches := flag.Int("batches", 50, "warm /distance-batch requests for the batch distribution")
 	workers := flag.Int("workers", 0, "build workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -155,6 +179,55 @@ func main() {
 		AvgMicros: sum / float64(len(lat)),
 	}
 
+	// Warm batch queries over the same oracle, binary encoding end to end
+	// (HTTP, middleware, pooled decode/encode, flat-table batch kernel).
+	const pairsPerBatch = 4096
+	pairs := make([][2]graph.NodeID, pairsPerBatch)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))}
+	}
+	frame := encodePairsFrame(pairs)
+	batchURL := ts.URL + "/distance-batch?graph=road&tau=4&seed=1"
+	postBatch := func() {
+		resp, err := http.Post(batchURL, "application/x-reprod-pairs", bytes.NewReader(frame))
+		fail(err)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("%s: status %d", batchURL, resp.StatusCode))
+		}
+	}
+	postBatch() // warm the scratch pools before measuring
+	blat := make([]float64, 0, *batches)
+	var bsum float64
+	for i := 0; i < *batches; i++ {
+		q0 := time.Now()
+		postBatch()
+		micros := float64(time.Since(q0).Nanoseconds()) / 1e3
+		blat = append(blat, micros)
+		bsum += micros
+	}
+	sort.Float64s(blat)
+	pairsPerSec := float64(pairsPerBatch) * float64(*batches) / (bsum / 1e6)
+	// The point path answers one pair per request; its throughput is the
+	// reciprocal of the average request latency measured above.
+	pointPairsSec := 1e6 / rep.Serve.AvgMicros
+	// The pinned guarantee, measured on the same kernel the endpoint calls.
+	dists := make([]int64, len(pairs))
+	allocs := testing.AllocsPerRun(20, func() {
+		or.QueryBatchInto(pairs, dists)
+	})
+	rep.Batch = BatchBench{
+		Batches:        *batches,
+		PairsPerBatch:  pairsPerBatch,
+		P50Micros:      quantile(blat, 0.50),
+		P99Micros:      quantile(blat, 0.99),
+		PairsPerSec:    pairsPerSec,
+		PointPairsSec:  pointPairsSec,
+		SpeedupVsPoint: pairsPerSec / pointPairsSec,
+		AllocsPerPair:  allocs / pairsPerBatch,
+	}
+
 	// MR diameter pipeline, cold.
 	start = time.Now()
 	mrRes, err := s.MRDiameter(context.Background(), "mesh", 1, 1)
@@ -179,8 +252,23 @@ func main() {
 		return
 	}
 	fail(os.WriteFile(*out, enc, 0o644))
-	fmt.Printf("wrote %s: build %.0fms, p50 %.0fµs, p99 %.0fµs, MR %d rounds / %d pairs\n",
-		*out, rep.Oracle.WallMillis, rep.Serve.P50Micros, rep.Serve.P99Micros, rep.MR.Rounds, rep.MR.PairsShuffled)
+	fmt.Printf("wrote %s: build %.0fms, p50 %.0fµs, p99 %.0fµs, batch %.2gM pairs/s (%.0fx point, %.3g allocs/pair), MR %d rounds / %d pairs\n",
+		*out, rep.Oracle.WallMillis, rep.Serve.P50Micros, rep.Serve.P99Micros,
+		rep.Batch.PairsPerSec/1e6, rep.Batch.SpeedupVsPoint, rep.Batch.AllocsPerPair,
+		rep.MR.Rounds, rep.MR.PairsShuffled)
+}
+
+// encodePairsFrame builds the dense binary request frame /distance-batch
+// documents: "RPB1" | count u32 | count × (u i32, v i32), little-endian.
+func encodePairsFrame(pairs [][2]graph.NodeID) []byte {
+	out := make([]byte, 8+8*len(pairs))
+	copy(out, "RPB1")
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(pairs)))
+	for i, p := range pairs {
+		binary.LittleEndian.PutUint32(out[8+8*i:], uint32(p[0]))
+		binary.LittleEndian.PutUint32(out[8+8*i+4:], uint32(p[1]))
+	}
+	return out
 }
 
 // quantile returns the q-quantile of sorted samples (nearest-rank).

@@ -14,6 +14,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -109,6 +111,11 @@ func main() {
 			lats[total-1].Round(time.Microsecond))
 	}
 
+	// Batch path: the same pair workload as one client, posted as
+	// /distance-batch requests in both encodings. The effective pairs/sec
+	// is what a bulk consumer (all-pairs sampling, evaluation sweeps) sees.
+	runBatches(base, *graphName, *nodes)
+
 	resp, err := http.Get(base + "/stats")
 	if err != nil {
 		log.Fatal(err)
@@ -120,6 +127,64 @@ func main() {
 	}
 	out, _ := json.MarshalIndent(stats, "", "  ")
 	fmt.Printf("\nserver /stats:\n%s\n", out)
+}
+
+// runBatches posts the same random pairs through /distance-batch with the
+// JSON and the dense binary encoding and prints the effective pairs/sec of
+// each, next to the point-query throughput printed above.
+func runBatches(base, graphName string, nodes int) {
+	const (
+		pairsPerBatch = 4096
+		batches       = 25
+	)
+	r := rng.New(99)
+	pairs := make([][2]int32, pairsPerBatch)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(r.Intn(nodes)), int32(r.Intn(nodes))}
+	}
+	jsonBody, err := json.Marshal(map[string]any{"pairs": pairs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frame := make([]byte, 8+8*len(pairs))
+	copy(frame, "RPB1")
+	binary.LittleEndian.PutUint32(frame[4:8], uint32(len(pairs)))
+	for i, p := range pairs {
+		binary.LittleEndian.PutUint32(frame[8+8*i:], uint32(p[0]))
+		binary.LittleEndian.PutUint32(frame[8+8*i+4:], uint32(p[1]))
+	}
+	url := base + "/distance-batch?graph=" + graphName
+	fmt.Printf("\nbatch path (%d batches x %d pairs):\n", batches, pairsPerBatch)
+	for _, enc := range []struct {
+		name        string
+		contentType string
+		body        []byte
+	}{
+		{"json", "application/json", jsonBody},
+		{"binary", "application/x-reprod-pairs", frame},
+	} {
+		post := func() {
+			resp, err := http.Post(url, enc.contentType, bytes.NewReader(enc.body))
+			if err != nil {
+				log.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				log.Fatalf("batch (%s): status %d", enc.name, resp.StatusCode)
+			}
+		}
+		post() // warm the server's scratch pools
+		t0 := time.Now()
+		for i := 0; i < batches; i++ {
+			post()
+		}
+		elapsed := time.Since(t0)
+		fmt.Printf("  %-6s %8.2fms total, avg %6.0fµs/batch, %5.1fM pairs/sec\n",
+			enc.name, float64(elapsed.Nanoseconds())/1e6,
+			float64(elapsed.Microseconds())/batches,
+			float64(pairsPerBatch)*batches/elapsed.Seconds()/1e6)
+	}
 }
 
 func get(url string) error {

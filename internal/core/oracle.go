@@ -22,11 +22,35 @@ import (
 //
 // an upper bound on d(u, v) within O(d(u,v)·log³n + R_ALG2) with high
 // probability — polylogarithmic for far-apart pairs.
+//
+// The tables are stored row-major in flat slices (stride k = NumClusters),
+// and the per-node cluster/offset lookups alias the clustering's own flat
+// arrays, so a warm Query is two array reads (owner, dist — per endpoint)
+// and one table index with zero pointer chasing: no [][]row indirection,
+// no per-row cache miss. QueryBatchInto answers whole pair slices against
+// the same layout without allocating.
 type Oracle struct {
 	clustering *Clustering
-	apsp       [][]int64 // weighted quotient APSP; InfDist when unreachable
-	hops       [][]int64 // unweighted quotient APSP (certified lower bounds)
-	apspStats  bsp.Stats // aggregate cost of the quotient APSP build
+	k          int            // quotient size; the stride of apsp/hops
+	apsp       []int64        // weighted quotient APSP, row-major k×k; InfDist when unreachable
+	hops       []int64        // unweighted quotient APSP (certified lower bounds), row-major k×k
+	owner      []graph.NodeID // flat cluster-of lookup, aliases clustering.Owner
+	dist       []int32        // flat distance-to-center lookup, aliases clustering.Dist
+	apspStats  bsp.Stats      // aggregate cost of the quotient APSP build
+}
+
+// newOracle wires the flat lookup aliases; every constructor funnels
+// through it so the hot path never reaches back through the clustering.
+func newOracle(cl *Clustering, k int, apsp, hops []int64, stats bsp.Stats) *Oracle {
+	return &Oracle{
+		clustering: cl,
+		k:          k,
+		apsp:       apsp,
+		hops:       hops,
+		owner:      cl.Owner,
+		dist:       cl.Dist,
+		apspStats:  stats,
+	}
 }
 
 // DefaultOracleTau returns the paper's suggested granularity for an
@@ -94,8 +118,11 @@ func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Or
 	if workers > k {
 		workers = k
 	}
-	apsp := make([][]int64, k)
-	hops := make([][]int64, k)
+	// The tables are row-major flat arrays; each worker owns the disjoint
+	// row apsp[c*k:(c+1)*k] of the source it claimed, so the writes need no
+	// synchronization and the engines fill the final storage directly.
+	apsp := make([]int64, k*k)
+	hops := make([]int64, k*k)
 	var (
 		next    atomic.Int64
 		wg      sync.WaitGroup
@@ -117,16 +144,14 @@ func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Or
 				if c >= k {
 					break
 				}
-				row := make([]int64, k)
-				e.SSSP(graph.NodeID(c), row)
+				e.SSSP(graph.NodeID(c), apsp[c*k:(c+1)*k])
 				if e.Err() != nil {
 					// Cancelled mid-search: the row is partial, and the
 					// whole build is about to be discarded.
 					break
 				}
-				apsp[c] = row
 				hop := q.BFS(graph.NodeID(c))
-				hrow := make([]int64, k)
+				hrow := hops[c*k : (c+1)*k]
 				for i, h := range hop {
 					if h < 0 {
 						hrow[i] = graph.InfDist
@@ -134,7 +159,6 @@ func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Or
 						hrow[i] = int64(h)
 					}
 				}
-				hops[c] = hrow
 			}
 			statsMu.Lock()
 			stats.Add(e.Stats())
@@ -145,16 +169,16 @@ func OracleFromClustering(ctx context.Context, cl *Clustering, opt Options) (*Or
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return &Oracle{clustering: cl, apsp: apsp, hops: hops, apspStats: stats}, nil
+	return newOracle(cl, k, apsp, hops, stats), nil
 }
 
 // OracleFromParts reassembles an oracle from its persisted parts: the
-// decomposition plus the two quotient APSP tables (weighted distances and
-// hop counts). It is the decode-side counterpart of APSP/Hops, used by the
-// snapshot codec, and validates that the table dimensions are mutually
-// consistent so a corrupted snapshot cannot produce an oracle that panics
-// on query.
-func OracleFromParts(cl *Clustering, apsp, hops [][]int64) (*Oracle, error) {
+// decomposition plus the two quotient APSP tables, row-major flat with
+// stride k = cl.NumClusters() (weighted distances and hop counts — the
+// same layout APSPFlat/HopsFlat expose and the snapshot codec writes). It
+// validates that the table dimensions are mutually consistent so a
+// corrupted snapshot cannot produce an oracle that panics on query.
+func OracleFromParts(cl *Clustering, apsp, hops []int64) (*Oracle, error) {
 	if cl == nil || cl.G == nil {
 		return nil, errors.New("core: OracleFromParts: nil clustering")
 	}
@@ -163,39 +187,55 @@ func OracleFromParts(cl *Clustering, apsp, hops [][]int64) (*Oracle, error) {
 		return nil, fmt.Errorf("core: OracleFromParts: owner/dist length %d/%d, want %d",
 			len(cl.Owner), len(cl.Dist), n)
 	}
-	if len(apsp) != k || len(hops) != k {
-		return nil, fmt.Errorf("core: OracleFromParts: %d apsp / %d hop rows for %d clusters",
-			len(apsp), len(hops), k)
-	}
-	for c := 0; c < k; c++ {
-		if len(apsp[c]) != k || len(hops[c]) != k {
-			return nil, fmt.Errorf("core: OracleFromParts: row %d has %d/%d columns, want %d",
-				c, len(apsp[c]), len(hops[c]), k)
-		}
+	if len(apsp) != k*k || len(hops) != k*k {
+		return nil, fmt.Errorf("core: OracleFromParts: %d apsp / %d hop entries for %d clusters (want %d)",
+			len(apsp), len(hops), k, k*k)
 	}
 	for u := 0; u < n; u++ {
 		if cl.Owner[u] < 0 || int(cl.Owner[u]) >= k {
 			return nil, fmt.Errorf("core: OracleFromParts: node %d owner %d out of range", u, cl.Owner[u])
 		}
 	}
-	return &Oracle{clustering: cl, apsp: apsp, hops: hops}, nil
+	return newOracle(cl, k, apsp, hops, bsp.Stats{}), nil
 }
 
 // Clustering exposes the oracle's underlying decomposition.
 func (o *Oracle) Clustering() *Clustering { return o.clustering }
 
-// APSP returns the weighted quotient all-pairs table (k×k, InfDist for
-// unreachable cluster pairs). The rows alias internal storage and must not
-// be modified; they exist for serialization.
-func (o *Oracle) APSP() [][]int64 { return o.apsp }
+// APSP returns the weighted quotient all-pairs table as k row views
+// (InfDist for unreachable cluster pairs) — a compatibility accessor that
+// reconstructs [][]row headers over the flat storage. The rows alias
+// internal storage and must not be modified.
+func (o *Oracle) APSP() [][]int64 { return rowViews(o.apsp, o.k) }
 
 // Hops returns the unweighted quotient all-pairs hop table backing
-// LowerQuery. The rows alias internal storage and must not be modified.
-func (o *Oracle) Hops() [][]int64 { return o.hops }
+// LowerQuery, as row views over the flat storage (see APSP). The rows
+// alias internal storage and must not be modified.
+func (o *Oracle) Hops() [][]int64 { return rowViews(o.hops, o.k) }
+
+// rowViews slices a row-major flat k×k table into k row headers without
+// copying the payload.
+func rowViews(flat []int64, k int) [][]int64 {
+	rows := make([][]int64, k)
+	for c := 0; c < k; c++ {
+		rows[c] = flat[c*k : (c+1)*k : (c+1)*k]
+	}
+	return rows
+}
+
+// APSPFlat returns the weighted quotient all-pairs table in its native
+// row-major flat layout: entry (c, d) is at index c*NumClusters()+d. It
+// aliases internal storage and must not be modified; it exists for the
+// snapshot codec and zero-copy batch consumers.
+func (o *Oracle) APSPFlat() []int64 { return o.apsp }
+
+// HopsFlat returns the hop table in its native row-major flat layout (see
+// APSPFlat). It aliases internal storage and must not be modified.
+func (o *Oracle) HopsFlat() []int64 { return o.hops }
 
 // NumClusters returns the size of the quotient graph (rows of the APSP
 // table).
-func (o *Oracle) NumClusters() int { return len(o.apsp) }
+func (o *Oracle) NumClusters() int { return o.k }
 
 // APSPStats returns the aggregate substrate cost of the quotient APSP
 // build (delta-stepping relaxations, buckets, phases summed over the k
@@ -211,12 +251,11 @@ func (o *Oracle) LowerQuery(u, v graph.NodeID) int64 {
 	if u == v {
 		return 0
 	}
-	cl := o.clustering
-	cu, cv := cl.Owner[u], cl.Owner[v]
+	cu, cv := o.owner[u], o.owner[v]
 	if cu == cv {
 		return 0
 	}
-	h := o.hops[cu][cv]
+	h := o.hops[int(cu)*o.k+int(cv)]
 	if h == graph.InfDist {
 		return graph.InfDist
 	}
@@ -229,15 +268,42 @@ func (o *Oracle) Query(u, v graph.NodeID) int64 {
 	if u == v {
 		return 0
 	}
-	cl := o.clustering
-	cu, cv := cl.Owner[u], cl.Owner[v]
+	cu, cv := o.owner[u], o.owner[v]
 	if cu == cv {
 		// Same cluster: go through the center.
-		return int64(cl.Dist[u]) + int64(cl.Dist[v])
+		return int64(o.dist[u]) + int64(o.dist[v])
 	}
-	mid := o.apsp[cu][cv]
+	mid := o.apsp[int(cu)*o.k+int(cv)]
 	if mid == graph.InfDist {
 		return graph.InfDist
 	}
-	return int64(cl.Dist[u]) + mid + int64(cl.Dist[v])
+	return int64(o.dist[u]) + mid + int64(o.dist[v])
+}
+
+// QueryBatchInto answers pairs[i] = (u, v) into out[i], exactly as Query
+// would pair by pair (graph.InfDist for cross-component pairs). It is the
+// oracle's batch hot path: a single pass over the flat tables with zero
+// allocation, so callers can pool and reuse both slices across requests.
+// Every id must already be validated in [0, n); out must have len(pairs).
+func (o *Oracle) QueryBatchInto(pairs [][2]graph.NodeID, out []int64) {
+	_ = out[:len(pairs)] // one bounds check, not one per pair
+	owner, dist, apsp, k := o.owner, o.dist, o.apsp, o.k
+	for i, p := range pairs {
+		u, v := p[0], p[1]
+		if u == v {
+			out[i] = 0
+			continue
+		}
+		cu, cv := owner[u], owner[v]
+		if cu == cv {
+			out[i] = int64(dist[u]) + int64(dist[v])
+			continue
+		}
+		mid := apsp[int(cu)*k+int(cv)]
+		if mid == graph.InfDist {
+			out[i] = graph.InfDist
+			continue
+		}
+		out[i] = int64(dist[u]) + mid + int64(dist[v])
+	}
 }

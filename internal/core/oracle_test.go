@@ -201,6 +201,101 @@ func TestOracleLowerQueryDisconnected(t *testing.T) {
 	}
 }
 
+func TestOracleFlatAccessorsConsistent(t *testing.T) {
+	// APSP()/Hops() are row views over the flat storage: every (c, d)
+	// entry must equal the flat array at c*k+d, and the views must alias
+	// (not copy) the same memory APSPFlat/HopsFlat return.
+	g := graph.RoadLike(20, 20, 0.4, 21)
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := o.NumClusters()
+	apsp, hops := o.APSP(), o.Hops()
+	flatA, flatH := o.APSPFlat(), o.HopsFlat()
+	if len(flatA) != k*k || len(flatH) != k*k {
+		t.Fatalf("flat tables %d/%d entries, want %d", len(flatA), len(flatH), k*k)
+	}
+	for c := 0; c < k; c++ {
+		if len(apsp[c]) != k || len(hops[c]) != k {
+			t.Fatalf("row %d has %d/%d columns, want %d", c, len(apsp[c]), len(hops[c]), k)
+		}
+		if &apsp[c][0] != &flatA[c*k] || &hops[c][0] != &flatH[c*k] {
+			t.Fatalf("row %d does not alias the flat storage", c)
+		}
+		for d := 0; d < k; d++ {
+			if apsp[c][d] != flatA[c*k+d] || hops[c][d] != flatH[c*k+d] {
+				t.Fatalf("entry (%d,%d) differs between row view and flat table", c, d)
+			}
+		}
+	}
+}
+
+func TestQueryBatchMatchesQuery(t *testing.T) {
+	// The batch path must answer exactly what Query answers pair by pair,
+	// including u==v, same-cluster, cross-cluster, and cross-component
+	// (InfDist) pairs.
+	b := graph.NewBuilder(900 + 20)
+	mesh := graph.Mesh(30, 30)
+	xadj, adj := mesh.CSR()
+	for u := 0; u < 900; u++ {
+		for _, v := range adj[xadj[u]:xadj[u+1]] {
+			if graph.NodeID(u) < v {
+				b.AddEdge(graph.NodeID(u), v)
+			}
+		}
+	}
+	for i := 900; i < 919; i++ {
+		b.AddEdge(graph.NodeID(i), graph.NodeID(i+1))
+	}
+	g := b.Build()
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(17)
+	n := g.NumNodes()
+	pairs := make([][2]graph.NodeID, 0, 512)
+	for i := 0; i < 500; i++ {
+		pairs = append(pairs, [2]graph.NodeID{graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))})
+	}
+	pairs = append(pairs,
+		[2]graph.NodeID{5, 5},     // identity
+		[2]graph.NodeID{0, 905},   // cross-component
+		[2]graph.NodeID{905, 910}, // inside the path component
+	)
+	out := make([]int64, len(pairs))
+	o.QueryBatchInto(pairs, out)
+	for i, p := range pairs {
+		if want := o.Query(p[0], p[1]); out[i] != want {
+			t.Fatalf("pair %d (%d,%d): batch %d != point %d", i, p[0], p[1], out[i], want)
+		}
+	}
+}
+
+func TestQueryBatchZeroAllocs(t *testing.T) {
+	// The pinned guarantee of the batch-first query path: answering a
+	// warm batch allocates nothing — not per pair, not per call.
+	g := graph.Mesh(30, 30)
+	o, err := BuildOracle(context.Background(), g, 2, false, Options{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(23)
+	n := g.NumNodes()
+	pairs := make([][2]graph.NodeID, 4096)
+	for i := range pairs {
+		pairs[i] = [2]graph.NodeID{graph.NodeID(r.Intn(n)), graph.NodeID(r.Intn(n))}
+	}
+	out := make([]int64, len(pairs))
+	allocs := testing.AllocsPerRun(50, func() {
+		o.QueryBatchInto(pairs, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("QueryBatchInto allocated %.1f times per call, want 0", allocs)
+	}
+}
+
 func TestDefaultOracleTau(t *testing.T) {
 	if DefaultOracleTau(100) < 1 {
 		t.Fatal("tau must be >= 1")

@@ -1,0 +1,380 @@
+package serve
+
+// batch.go is the zero-allocation, batch-first query path: POST
+// /distance-batch answers up to MaxBatchPairs (u, v) pairs per request
+// straight off the oracle's flat tables. Three encodings share one
+// pipeline:
+//
+//   - JSON (Content-Type: application/json): body {"pairs":[[u,v],...]},
+//     response {"graph":...,"pairs":N,"distances":[...]} with -1 for
+//     unreachable pairs, matching the point endpoint's convention.
+//   - Dense binary frames (Content-Type: application/x-reprod-pairs):
+//     request "RPB1" | count u32 | count × (u i32, v i32); response
+//     (Content-Type: application/x-reprod-dists) "RPD1" | count u32 |
+//     count × dist i64, everything little-endian, -1 for unreachable.
+//   - NDJSON streaming (Accept: application/x-ndjson, either request
+//     encoding): one {"u":U,"v":V,"distance":D} object per line, flushed
+//     in bounded chunks, for result sets too big to buffer.
+//
+// Every id is validated before the artifact lookup — the same
+// reject-before-build rule the point endpoints follow, so a garbage batch
+// can never trigger (or churn a cache slot on) a multi-second
+// decomposition. All request-lifetime scratch (body buffer, decoded
+// pairs, distances, encode buffer) lives in a sync.Pool and is reused
+// across requests: the warm path allocates nothing per pair, pinned by
+// the AllocsPerRun regression tests in batch_test.go.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// MaxBatchPairs bounds one /distance-batch request (~64k pairs: 512 KiB
+// of binary request, 512 KiB of binary response). Bigger workloads split
+// into multiple requests or switch to the NDJSON streaming variant.
+const MaxBatchPairs = 1 << 16
+
+// maxBatchBody bounds the raw request body before decoding: the JSON
+// encoding of MaxBatchPairs pairs of 10-digit ids comfortably fits.
+const maxBatchBody = 4 << 20
+
+// Batch media types. JSON requests use the standard application/json.
+const (
+	ctBatchPairs = "application/x-reprod-pairs" // binary request frame
+	ctBatchDists = "application/x-reprod-dists" // binary response frame
+	ctNDJSON     = "application/x-ndjson"       // streaming response
+)
+
+// Binary frame magics: 4 bytes leading the request and response frames,
+// so a client that posts the wrong encoding fails loudly instead of
+// having its byte stream reinterpreted.
+var (
+	pairsMagic = [4]byte{'R', 'P', 'B', '1'}
+	distsMagic = [4]byte{'R', 'P', 'D', '1'}
+)
+
+// batchScratch is the per-request working set, pooled and reused: the
+// warm batch path reads the body, decodes pairs, answers, and encodes the
+// response entirely inside these four buffers.
+type batchScratch struct {
+	body  []byte            // raw request body
+	pairs [][2]graph.NodeID // decoded (u, v) pairs
+	dists []int64           // per-pair answers
+	out   []byte            // encoded response
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// handleDistanceBatch is the endpoint body, run under wrapRaw (worker
+// slot, error mapping) and the instrumentation middleware (request id,
+// status counting, latency). It returns an error only before anything has
+// been written, so the error mapper always produces a clean JSON body.
+func (s *Server) handleDistanceBatch(w http.ResponseWriter, r *http.Request) error {
+	if r.Method != http.MethodPost {
+		return &httpError{http.StatusMethodNotAllowed, "distance-batch requires POST"}
+	}
+	p, err := s.parseBuildParams(r)
+	if err != nil {
+		return err
+	}
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	binaryReq := ct == ctBatchPairs
+	if !binaryReq && ct != "" && ct != "application/json" {
+		return &httpError{http.StatusUnsupportedMediaType,
+			"distance-batch accepts application/json or " + ctBatchPairs}
+	}
+
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	sc.body, err = readBodyInto(sc.body, r.Body, maxBatchBody)
+	if err != nil {
+		return err
+	}
+	var maxID graph.NodeID
+	if binaryReq {
+		sc.pairs, maxID, err = decodePairsBinary(sc.pairs[:0], sc.body)
+	} else {
+		sc.pairs, maxID, err = decodePairsJSON(sc.pairs[:0], sc.body)
+	}
+	if err != nil {
+		return err
+	}
+	pairs := sc.pairs
+	if len(pairs) == 0 {
+		return badRequest("empty batch")
+	}
+
+	// Validate every id before the artifact lookup (and possible build),
+	// then re-validate against the oracle's own graph: RegisterGraph may
+	// swap the topology between the two. All ids are known non-negative
+	// after decoding, so both checks are one comparison against the
+	// batch's maximum; the failure path scans to name the offending pair.
+	if g, err := s.Graph(p.graph); err != nil {
+		return err
+	} else if err := checkBatchRange(pairs, maxID, g); err != nil {
+		return err
+	}
+	o, err := s.Oracle(r.Context(), p.graph, p.tau, p.seed, p.algo)
+	if err != nil {
+		return err
+	}
+	if err := checkBatchRange(pairs, maxID, o.Clustering().G); err != nil {
+		return err
+	}
+
+	if cap(sc.dists) < len(pairs) {
+		sc.dists = make([]int64, len(pairs))
+	}
+	dists := sc.dists[:len(pairs)]
+	o.QueryBatchInto(pairs, dists)
+	s.met.batchPairs.Add(int64(len(pairs)))
+	s.met.batchSize.Observe(float64(len(pairs)))
+
+	switch {
+	case strings.Contains(r.Header.Get("Accept"), ctNDJSON):
+		writeBatchNDJSON(w, sc, pairs, dists)
+	case binaryReq:
+		writeBatchBinary(w, sc, dists)
+	default:
+		writeBatchJSON(w, sc, p.graph, dists)
+	}
+	return nil
+}
+
+// readBodyInto reads r into dst (reusing its capacity) up to max bytes,
+// returning 413 beyond that.
+func readBodyInto(dst []byte, r io.Reader, max int) ([]byte, error) {
+	dst = dst[:0]
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 64<<10)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := r.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if len(dst) > max {
+			return dst, &httpError{http.StatusRequestEntityTooLarge,
+				"batch body exceeds " + strconv.Itoa(max) + " bytes"}
+		}
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, badRequest("reading batch body: %v", err)
+		}
+	}
+}
+
+// decodePairsBinary parses the dense request frame into dst, returning
+// the decoded pairs and the largest id seen. Negative ids and size
+// mismatches are rejected here, before any artifact work.
+func decodePairsBinary(dst [][2]graph.NodeID, body []byte) ([][2]graph.NodeID, graph.NodeID, error) {
+	if len(body) < 8 || body[0] != pairsMagic[0] || body[1] != pairsMagic[1] ||
+		body[2] != pairsMagic[2] || body[3] != pairsMagic[3] {
+		return dst, 0, badRequest("bad batch frame: want %q magic + u32 count header", pairsMagic[:])
+	}
+	count := int(binary.LittleEndian.Uint32(body[4:8]))
+	if count > MaxBatchPairs {
+		return dst, 0, &httpError{http.StatusRequestEntityTooLarge,
+			"batch of " + strconv.Itoa(count) + " pairs exceeds the " + strconv.Itoa(MaxBatchPairs) + "-pair limit"}
+	}
+	if len(body) != 8+8*count {
+		return dst, 0, badRequest("batch frame length %d does not match %d pairs (want %d)",
+			len(body), count, 8+8*count)
+	}
+	var maxID, orAcc graph.NodeID
+	payload := body[8:]
+	for i := 0; i < count; i++ {
+		u := graph.NodeID(binary.LittleEndian.Uint32(payload[8*i:]))
+		v := graph.NodeID(binary.LittleEndian.Uint32(payload[8*i+4:]))
+		orAcc |= u | v
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+		dst = append(dst, [2]graph.NodeID{u, v})
+	}
+	if orAcc < 0 {
+		return dst, 0, firstNegativePair(dst)
+	}
+	return dst, maxID, nil
+}
+
+// decodePairsJSON parses {"pairs":[[u,v],...]} into dst (encoding/json
+// reuses dst's backing array, so the warm path does not grow it).
+func decodePairsJSON(dst [][2]graph.NodeID, body []byte) ([][2]graph.NodeID, graph.NodeID, error) {
+	var req struct {
+		Pairs [][2]graph.NodeID `json:"pairs"`
+	}
+	req.Pairs = dst
+	if err := json.Unmarshal(body, &req); err != nil {
+		return dst, 0, badRequest("bad batch JSON: %v", err)
+	}
+	dst = req.Pairs
+	if len(dst) > MaxBatchPairs {
+		return dst, 0, &httpError{http.StatusRequestEntityTooLarge,
+			"batch of " + strconv.Itoa(len(dst)) + " pairs exceeds the " + strconv.Itoa(MaxBatchPairs) + "-pair limit"}
+	}
+	var maxID, orAcc graph.NodeID
+	for _, p := range dst {
+		orAcc |= p[0] | p[1]
+		if p[0] > maxID {
+			maxID = p[0]
+		}
+		if p[1] > maxID {
+			maxID = p[1]
+		}
+	}
+	if orAcc < 0 {
+		return dst, 0, firstNegativePair(dst)
+	}
+	return dst, maxID, nil
+}
+
+// firstNegativePair names the first pair with a negative id — the slow
+// path of the sign check the decoders accumulate bitwise.
+func firstNegativePair(pairs [][2]graph.NodeID) error {
+	for i, p := range pairs {
+		if p[0] < 0 || p[1] < 0 {
+			return badRequest("pair %d: negative node id (%d,%d)", i, p[0], p[1])
+		}
+	}
+	return badRequest("negative node id in batch")
+}
+
+// checkBatchRange enforces the pre-build validation rule for batches: one
+// comparison against the batch maximum on the happy path, a scan naming
+// the first offending pair on failure.
+func checkBatchRange(pairs [][2]graph.NodeID, maxID graph.NodeID, g *graph.Graph) error {
+	n := g.NumNodes()
+	if int(maxID) < n {
+		return nil
+	}
+	for i, p := range pairs {
+		if int(p[0]) >= n {
+			return badRequest("pair %d: node u=%d out of range [0, %d)", i, p[0], n)
+		}
+		if int(p[1]) >= n {
+			return badRequest("pair %d: node v=%d out of range [0, %d)", i, p[1], n)
+		}
+	}
+	return badRequest("node id out of range [0, %d)", n)
+}
+
+// writeBatchBinary answers with the dense response frame, encoding into
+// the pooled buffer and writing once. Unreachable pairs answer -1.
+func writeBatchBinary(w http.ResponseWriter, sc *batchScratch, dists []int64) {
+	need := 8 + 8*len(dists)
+	if cap(sc.out) < need {
+		sc.out = make([]byte, 0, need)
+	}
+	out := sc.out[:need]
+	copy(out, distsMagic[:])
+	binary.LittleEndian.PutUint32(out[4:8], uint32(len(dists)))
+	for i, d := range dists {
+		if d == graph.InfDist {
+			d = -1
+		}
+		binary.LittleEndian.PutUint64(out[8+8*i:], uint64(d))
+	}
+	sc.out = out
+	w.Header().Set("Content-Type", ctBatchDists)
+	w.Header().Set("Content-Length", strconv.Itoa(need))
+	w.Write(out)
+}
+
+// writeBatchJSON answers {"graph":...,"pairs":N,"distances":[...]},
+// hand-encoded into the pooled buffer with strconv appends — the JSON
+// response costs no per-pair allocation either.
+func writeBatchJSON(w http.ResponseWriter, sc *batchScratch, graphName string, dists []int64) {
+	out := append(sc.out[:0], `{"graph":`...)
+	out = appendJSONString(out, graphName)
+	out = append(out, `,"pairs":`...)
+	out = strconv.AppendInt(out, int64(len(dists)), 10)
+	out = append(out, `,"distances":[`...)
+	for i, d := range dists {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		if d == graph.InfDist {
+			d = -1
+		}
+		out = strconv.AppendInt(out, d, 10)
+	}
+	out = append(out, "]}\n"...)
+	sc.out = out
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	w.Write(out)
+}
+
+// ndjsonFlushBytes bounds the streaming variant's in-memory chunk: rows
+// accumulate in the pooled buffer and flush to the client every ~32 KiB,
+// so a maximal batch never buffers its whole response.
+const ndjsonFlushBytes = 32 << 10
+
+// writeBatchNDJSON streams one {"u":U,"v":V,"distance":D} object per
+// line. A mid-stream write error just stops the stream — the status line
+// is already on the wire, so there is nothing better to tell the client
+// than the broken connection itself.
+func writeBatchNDJSON(w http.ResponseWriter, sc *batchScratch, pairs [][2]graph.NodeID, dists []int64) {
+	w.Header().Set("Content-Type", ctNDJSON)
+	out := sc.out[:0]
+	for i, d := range dists {
+		out = append(out, `{"u":`...)
+		out = strconv.AppendInt(out, int64(pairs[i][0]), 10)
+		out = append(out, `,"v":`...)
+		out = strconv.AppendInt(out, int64(pairs[i][1]), 10)
+		out = append(out, `,"distance":`...)
+		if d == graph.InfDist {
+			d = -1
+		}
+		out = strconv.AppendInt(out, d, 10)
+		out = append(out, "}\n"...)
+		if len(out) >= ndjsonFlushBytes {
+			if _, err := w.Write(out); err != nil {
+				sc.out = out
+				return
+			}
+			out = out[:0]
+		}
+	}
+	if len(out) > 0 {
+		w.Write(out)
+	}
+	sc.out = out
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes, and control characters. Graph names are short and almost
+// always plain ASCII; anything fancier goes through the \u00XX escape.
+func appendJSONString(dst []byte, s string) []byte {
+	const hex = "0123456789abcdef"
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			dst = append(dst, '\\', c)
+		case c < 0x20:
+			dst = append(dst, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}

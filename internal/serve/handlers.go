@@ -15,28 +15,32 @@ import (
 
 // Handler returns the HTTP surface of the server:
 //
-//	GET /distance?graph=G&u=U&v=V[&tau=T][&seed=S][&algo=cluster|cluster2]
-//	GET /cluster-of?graph=G&u=U[&tau=T][&seed=S][&algo=...]
-//	GET /diameter?graph=G[&tau=T][&seed=S][&algo=...]
-//	GET /mr-diameter?graph=G[&tau=T][&seed=S]
-//	GET /kcenter?graph=G&k=K[&seed=S]
-//	GET /stats
-//	GET /builds
-//	GET /metrics
-//	GET /healthz
+//	GET  /distance?graph=G&u=U&v=V[&tau=T][&seed=S][&algo=cluster|cluster2]
+//	POST /distance-batch?graph=G[&tau=T][&seed=S][&algo=...]  (body: pairs)
+//	GET  /cluster-of?graph=G&u=U[&tau=T][&seed=S][&algo=...]
+//	GET  /diameter?graph=G[&tau=T][&seed=S][&algo=...]
+//	GET  /mr-diameter?graph=G[&tau=T][&seed=S]
+//	GET  /kcenter?graph=G&k=K[&seed=S]
+//	GET  /stats
+//	GET  /builds
+//	GET  /metrics
+//	GET  /healthz
 //
 // All endpoints answer JSON except /metrics, which answers the Prometheus
-// text exposition format. Missing or malformed parameters are 400,
-// unknown graphs 404, cancelled/timed-out requests 503. Every endpoint
-// runs under the instrumentation middleware: responses carry an
-// X-Request-ID header, and each request lands in the per-path request
-// counter and latency histogram /metrics exports.
+// text exposition format, and /distance-batch, which answers in its
+// request's encoding (JSON, the dense binary frame, or streamed NDJSON —
+// see batch.go). Missing or malformed parameters are 400, unknown graphs
+// 404, cancelled/timed-out requests 503. Every endpoint runs under the
+// instrumentation middleware: responses carry an X-Request-ID header, and
+// each request lands in the per-path request counter and latency
+// histogram /metrics exports.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(path string, h http.HandlerFunc) {
 		mux.Handle(path, s.instrument(path, h))
 	}
 	handle("/distance", s.wrap(s.handleDistance))
+	handle("/distance-batch", s.wrapRaw(s.handleDistanceBatch))
 	handle("/cluster-of", s.wrap(s.handleClusterOf))
 	handle("/diameter", s.wrap(s.handleDiameter))
 	handle("/mr-diameter", s.wrap(s.handleMRDiameter))
@@ -69,11 +73,41 @@ func badRequest(format string, args ...any) error {
 	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
 }
 
+// errStatus maps a handler error to its HTTP status.
+func errStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, ErrCacheFull), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
+	}
+	return http.StatusInternalServerError
+}
+
 // wrap is the shared request pipeline: take a bounded worker slot
 // (honouring client disconnect while queued), run the handler, and map
 // errors to JSON error bodies. Request counting and latency live in the
 // instrument middleware wrapped around it.
 func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
+	return s.wrapRaw(func(w http.ResponseWriter, r *http.Request) error {
+		v, err := h(r)
+		if err != nil {
+			return err
+		}
+		writeJSON(w, http.StatusOK, v)
+		return nil
+	})
+}
+
+// wrapRaw is wrap for handlers that encode (or stream) their own success
+// responses — the batch path, whose pooled buffers bypass the generic
+// JSON encoder. The handler contract: return an error only before writing
+// anything, so the mapper can still produce a clean JSON error body.
+func (s *Server) wrapRaw(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if err := s.acquire(r.Context()); err != nil {
 			s.met.rejected.Add(1)
@@ -85,23 +119,9 @@ func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 			s.met.inFlight.Add(-1)
 			s.release()
 		}()
-		v, err := h(r)
-		if err != nil {
-			status := http.StatusInternalServerError
-			var he *httpError
-			switch {
-			case errors.As(err, &he):
-				status = he.status
-			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
-				errors.Is(err, ErrCacheFull), errors.Is(err, ErrShuttingDown):
-				status = http.StatusServiceUnavailable
-			case errors.Is(err, ErrUnknownGraph):
-				status = http.StatusNotFound
-			}
-			writeJSON(w, status, errBody(err))
-			return
+		if err := h(w, r); err != nil {
+			writeJSON(w, errStatus(err), errBody(err))
 		}
-		writeJSON(w, http.StatusOK, v)
 	}
 }
 

@@ -27,6 +27,13 @@ type metrics struct {
 	inFlight     *obs.Gauge        // requests holding a worker slot
 	queryLatency *obs.Histogram    // point-query handling time (distance + cluster-of)
 
+	// Batch query path (batch.go). batchPairs counts answered pairs —
+	// the batch counterpart of the point-query count, so /metrics can
+	// distinguish one 10k-pair request from 10k point queries — and
+	// batchSize is the per-request batch-size distribution.
+	batchPairs *obs.Counter
+	batchSize  *obs.Histogram
+
 	// Artifact cache and builds.
 	hits         *obs.Counter
 	misses       *obs.Counter
@@ -68,6 +75,11 @@ func newMetrics() *metrics {
 	m.queryLatency = reg.Histogram("reprod_point_query_duration_seconds",
 		"Handling time of point queries (distance, cluster-of) against a completed artifact.",
 		obs.DefBuckets)
+	m.batchPairs = reg.Counter("reprod_batch_pairs_total",
+		"Distance pairs answered by /distance-batch across all encodings.")
+	m.batchSize = reg.Histogram("reprod_batch_size_pairs",
+		"Pairs per /distance-batch request.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536})
 	m.hits = reg.Counter("reprod_artifact_cache_hits_total",
 		"Artifact cache hits, including joins on in-flight builds.")
 	m.misses = reg.Counter("reprod_artifact_cache_misses_total",
@@ -157,6 +169,7 @@ type Stats struct {
 	Requests       int64   `json:"requests"`
 	Errors         int64   `json:"errors"`
 	Queries        int64   `json:"queries"`
+	BatchPairs     int64   `json:"batch_pairs"`
 	AvgQueryMicros float64 `json:"avg_query_micros"`
 	CacheHits      int64   `json:"cache_hits"`
 	CacheMisses    int64   `json:"cache_misses"`
@@ -188,6 +201,7 @@ func (s *Server) Stats() Stats {
 		Requests:        m.requests.Load(),
 		Errors:          m.errors.Value(),
 		Queries:         m.queryLatency.Count(),
+		BatchPairs:      m.batchPairs.Value(),
 		CacheHits:       m.hits.Value(),
 		CacheMisses:     m.misses.Value(),
 		Builds:          m.builds.Value(),

@@ -260,6 +260,8 @@ var requiredFamilies = []string{
 	"reprod_requests_rejected_total",
 	"reprod_request_slots_in_use",
 	"reprod_point_query_duration_seconds",
+	"reprod_batch_pairs_total",
+	"reprod_batch_size_pairs",
 	"reprod_artifact_cache_hits_total",
 	"reprod_artifact_cache_misses_total",
 	"reprod_artifact_cache_entries",
@@ -291,6 +293,18 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	getJSON(t, ts.URL+"/distance?graph=mesh&tau=2&seed=1&u=0&v=899", nil)
 	getJSON(t, ts.URL+"/distance?graph=mesh&tau=2&seed=1&u=1&v=2", nil)
 	getJSON(t, ts.URL+"/mr-diameter?graph=mesh&tau=2&seed=1", nil)
+	// A batch request, so the batch pair counter and size histogram carry
+	// samples (not just TYPE lines) in the scrape below.
+	resp, err := http.Post(ts.URL+"/distance-batch?graph=mesh&tau=2&seed=1",
+		"application/json", strings.NewReader(`{"pairs":[[0,1],[2,3],[4,4]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/distance-batch status %d", resp.StatusCode)
+	}
 	getJSON(t, ts.URL+"/distance?graph=mesh&u=bad&v=2", nil)
 	getJSON(t, ts.URL+"/distance?graph=nope&u=0&v=1", nil)
 	getJSON(t, ts.URL+"/stats", nil)

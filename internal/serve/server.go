@@ -32,6 +32,18 @@
 // (in-flight plus a ring of recent builds) and attached to the artifact's
 // cost line in /stats. See README.md's Observability section for the
 // metric and trace schema.
+//
+// Bulk consumers use POST /distance-batch, which answers up to
+// MaxBatchPairs (u, v) pairs per request straight off the oracle's flat
+// tables — JSON, dense binary frames, or streamed NDJSON (batch.go
+// documents the wire formats). Batch inputs follow a strict pre-build
+// validation rule: every id in the batch is range-checked against the
+// graph BEFORE the artifact lookup, so a batch containing even one
+// invalid id is rejected with 400 without triggering (or churning a
+// cache slot on) a multi-second build — the same reject-before-build
+// discipline the point endpoints apply to their u/v parameters. The warm
+// batch path reuses pooled request scratch and allocates nothing per
+// pair, a guarantee pinned by AllocsPerRun regression tests.
 package serve
 
 import (

@@ -135,12 +135,10 @@ func Write(w io.Writer, a *Artifact) error {
 		e.i64(cl.Stats.Messages)
 		e.i64(int64(cl.Stats.MaxFrontier))
 		e.i64(int64(cl.Stats.PullRounds))
-		for _, row := range a.Oracle.APSP() {
-			e.i64s(row)
-		}
-		for _, row := range a.Oracle.Hops() {
-			e.i64s(row)
-		}
+		// The oracle stores both tables row-major flat, which is exactly the
+		// [k*k]i64 wire layout: one contiguous write each, no row walking.
+		e.i64s(a.Oracle.APSPFlat())
+		e.i64s(a.Oracle.HopsFlat())
 	}
 	if e.err != nil {
 		return e.err
@@ -211,14 +209,10 @@ func Read(r io.Reader) (*Artifact, error) {
 			MaxFrontier: int(d.i64()),
 			PullRounds:  int(d.i64()),
 		}
-		apsp := make([][]int64, 0, k)
-		for i := 0; i < k && d.err == nil; i++ {
-			apsp = append(apsp, d.i64s(k))
-		}
-		hops := make([][]int64, 0, k)
-		for i := 0; i < k && d.err == nil; i++ {
-			hops = append(hops, d.i64s(k))
-		}
+		// [k*k]i64 on the wire is the oracle's native row-major flat layout:
+		// decode each table as one contiguous slice, no per-row allocation.
+		apsp := d.i64s(k * k)
+		hops := d.i64s(k * k)
 		if d.err == nil {
 			var err error
 			if o, err = core.OracleFromParts(cl, apsp, hops); err != nil {
