@@ -71,6 +71,9 @@ func main() {
 		lazy     = flag.Bool("lazy", false, "skip the startup oracle build; first query pays it")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget: cancel builds, drain handlers, write the snapshot")
 		logReqs  = flag.Bool("log-requests", false, "log one structured line per HTTP request (id, method, path, status, latency, artifact key, cache outcome)")
+		buildTO  = flag.Duration("build-timeout", 0, "server-side deadline for one artifact build's running phase; past it the build is cancelled and its waiters answer 504 (0 = unbounded)")
+		fastQ    = flag.Int("fast-queue", 0, "bounded wait queue for the fast lane (cached lookups and queries) before requests are shed with 503+Retry-After (0 = 256, negative = no queue)")
+		slowQ    = flag.Int("slow-queue", 0, "how many cold builds may be pending beyond the build pool before new builds are shed with 503+Retry-After (0 = 4x workers, negative = no queue)")
 		debug    = flag.String("debug-addr", "", "listen address for the net/http/pprof debug mux (empty = disabled); kept off the service mux so profiling is never exposed on the query port")
 	)
 	flag.Parse()
@@ -102,6 +105,9 @@ func main() {
 		DefaultSeed:      defSeed,
 		DefaultAlgorithm: defAlgo,
 		BuildWorkers:     *build,
+		BuildTimeout:     *buildTO,
+		FastLaneQueue:    *fastQ,
+		SlowLaneQueue:    *slowQ,
 	}
 	if *logReqs {
 		cfg.RequestLog = logRequest

@@ -30,7 +30,11 @@ import (
 // text exposition format, and /distance-batch, which answers in its
 // request's encoding (JSON, the dense binary frame, or streamed NDJSON —
 // see batch.go). Missing or malformed parameters are 400, unknown graphs
-// 404, cancelled/timed-out requests 503. Every endpoint runs under the
+// 404; load-shed, breaker-rejected, and cancelled requests are 503 (shed
+// and breaker responses carry a Retry-After header), and a build that
+// outruns the server-side build timeout is 504 — README's "Overload &
+// failure semantics" section has the full table. Every endpoint runs
+// under the
 // instrumentation middleware: responses carry an X-Request-ID header, and
 // each request lands in the per-path request counter and latency
 // histogram /metrics exports.
@@ -73,13 +77,24 @@ func badRequest(format string, args ...any) error {
 	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
 }
 
-// errStatus maps a handler error to its HTTP status.
+// errStatus maps a handler error to its HTTP status. Deadline expiry —
+// a build that outran Config.BuildTimeout — is 504 (the server gave up),
+// distinct from the 503 family (the server refused: shed, breaker-open,
+// cache full, draining, client-abandoned), so clients can tell "retry
+// later" from "this build is too slow".
 func errStatus(err error) int {
-	var he *httpError
+	var (
+		he   *httpError
+		shed *ShedError
+		open *BreakerOpenError
+	)
 	switch {
 	case errors.As(err, &he):
 		return he.status
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded),
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &shed), errors.As(err, &open),
+		errors.Is(err, context.Canceled),
 		errors.Is(err, ErrCacheFull), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownGraph):
@@ -107,22 +122,54 @@ func (s *Server) wrap(h func(r *http.Request) (any, error)) http.HandlerFunc {
 // responses — the batch path, whose pooled buffers bypass the generic
 // JSON encoder. The handler contract: return an error only before writing
 // anything, so the mapper can still produce a clean JSON error body.
+//
+// Admission runs through a per-request laneSlot rather than a bare
+// acquire/release pair: the slot rides the request context (requestInfo)
+// so the artifact cache can park it while the request blocks on a cold
+// build, and its release is idempotent, so the deferred release frees
+// exactly what is held whether the request completed, parked and
+// resumed, or died parked.
 func (s *Server) wrapRaw(h func(w http.ResponseWriter, r *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if err := s.acquire(r.Context()); err != nil {
-			s.met.rejected.Add(1)
-			writeJSON(w, http.StatusServiceUnavailable, errBody(err))
+		slot := &laneSlot{l: s.fast}
+		if err := slot.acquire(r.Context()); err != nil {
+			var shed *ShedError
+			if errors.As(err, &shed) {
+				s.met.shed.With(shed.Lane).Inc()
+			} else {
+				s.met.rejected.Add(1)
+			}
+			s.writeErr(w, r, err)
 			return
+		}
+		if ri := requestInfoFrom(r.Context()); ri != nil {
+			ri.slot = slot
 		}
 		s.met.inFlight.Add(1)
 		defer func() {
 			s.met.inFlight.Add(-1)
-			s.release()
+			slot.release()
 		}()
 		if err := h(w, r); err != nil {
-			writeJSON(w, errStatus(err), errBody(err))
+			s.writeErr(w, r, err)
 		}
 	}
+}
+
+// writeErr maps a handler error to its JSON body, attaching the
+// Retry-After header any shed-like rejection (lane shed, open breaker)
+// carries and counting client-abandoned requests — cancellations whose
+// cause was the request's own context, not a server-side refusal — into
+// reprod_requests_client_gone_total, so shed-vs-abandoned traffic stays
+// distinguishable in /metrics.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
+	if ra := retryAfterOf(err); ra > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(ra))
+	}
+	if errors.Is(err, context.Canceled) && r.Context().Err() != nil {
+		s.met.clientGone.Inc()
+	}
+	writeJSON(w, errStatus(err), errBody(err))
 }
 
 func errBody(err error) map[string]string { return map[string]string{"error": err.Error()} }

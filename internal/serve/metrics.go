@@ -34,6 +34,14 @@ type metrics struct {
 	batchPairs *obs.Counter
 	batchSize  *obs.Histogram
 
+	// Overload surface (admission.go, breaker.go): load shedding by lane,
+	// client-abandoned requests, and the per-key circuit breaker.
+	shed            *obs.CounterVec // {lane}
+	clientGone      *obs.Counter
+	breakerTrips    *obs.Counter
+	breakerRejected *obs.Counter
+	breakerProbes   *obs.Counter
+
 	// Artifact cache and builds.
 	hits         *obs.Counter
 	misses       *obs.Counter
@@ -41,6 +49,7 @@ type metrics struct {
 	installs     *obs.Counter
 	builds       *obs.Counter
 	cancelled    *obs.Counter
+	timedOut     *obs.Counter
 	buildLatency *obs.HistogramVec // {kind}
 	buildNs      atomic.Int64      // cumulative build time, for /stats' average
 
@@ -75,6 +84,16 @@ func newMetrics() *metrics {
 	m.queryLatency = reg.Histogram("reprod_point_query_duration_seconds",
 		"Handling time of point queries (distance, cluster-of) against a completed artifact.",
 		obs.DefBuckets)
+	m.shed = reg.CounterVec("reprod_requests_shed_total",
+		"Requests load-shed with 503 + Retry-After because an admission lane's bounded queue was full, by lane (fast, slow).", "lane")
+	m.clientGone = reg.Counter("reprod_requests_client_gone_total",
+		"Requests whose client disconnected before the response was written.")
+	m.breakerTrips = reg.Counter("reprod_breaker_trips_total",
+		"Circuit-breaker openings, including re-opens after a failed half-open probe.")
+	m.breakerRejected = reg.Counter("reprod_breaker_rejected_total",
+		"Build requests answered a fast 503 because their key's circuit breaker was open.")
+	m.breakerProbes = reg.Counter("reprod_breaker_probes_total",
+		"Half-open probe builds admitted after a breaker cooldown expired.")
 	m.batchPairs = reg.Counter("reprod_batch_pairs_total",
 		"Distance pairs answered by /distance-batch across all encodings.")
 	m.batchSize = reg.Histogram("reprod_batch_size_pairs",
@@ -92,6 +111,8 @@ func newMetrics() *metrics {
 		"Detached artifact builds that acquired a build-pool slot and ran.")
 	m.cancelled = reg.Counter("reprod_builds_cancelled_total",
 		"Builds cancelled mid-flight because their last waiter left or the server drained.")
+	m.timedOut = reg.Counter("reprod_builds_timed_out_total",
+		"Builds killed by the server-side build deadline (Config.BuildTimeout); their waiters answer 504.")
 	m.buildLatency = reg.HistogramVec("reprod_build_duration_seconds",
 		"Wall-clock build duration by artifact kind (oracle, diameter, mrdiameter, kcenter).",
 		obs.BuildBuckets, "kind")
@@ -148,6 +169,18 @@ func (s *Server) registerServerGauges() {
 			s.mu.RUnlock()
 			return float64(n)
 		})
+	reg.GaugeFunc("reprod_fast_lane_queue_depth",
+		"Requests waiting for a fast-lane slot.", func() float64 {
+			return float64(s.fast.queueDepth())
+		})
+	reg.GaugeFunc("reprod_slow_lane_pending_builds",
+		"Builds admitted to the slow lane and not yet finished (queued plus running).", func() float64 {
+			return float64(s.slowPending.Load())
+		})
+	reg.GaugeFunc("reprod_breaker_open_keys",
+		"Artifact keys whose circuit breaker is currently open or half-open.", func() float64 {
+			return float64(s.breaker.openKeys())
+		})
 }
 
 // buildTimer returns a stop closure that records the build in the
@@ -183,6 +216,17 @@ type Stats struct {
 	// CancelledBuilds counts detached builds stopped mid-flight because
 	// their last waiter disconnected (or the server shut down).
 	CancelledBuilds int64 `json:"cancelled_builds"`
+	// TimedOutBuilds counts builds killed by the server-side build
+	// deadline (Config.BuildTimeout).
+	TimedOutBuilds int64 `json:"timed_out_builds"`
+	// Overload surface: load-shed requests by lane, client-abandoned
+	// requests, and the per-key circuit breaker.
+	ShedFast        int64 `json:"shed_fast"`
+	ShedSlow        int64 `json:"shed_slow"`
+	ClientGone      int64 `json:"client_gone"`
+	BreakerTrips    int64 `json:"breaker_trips"`
+	BreakerRejected int64 `json:"breaker_rejected"`
+	BreakerOpenKeys int   `json:"breaker_open_keys"`
 	Workers         int   `json:"workers"`
 	Graphs          int   `json:"graphs"`
 	Artifacts       int   `json:"artifacts"`
@@ -210,6 +254,13 @@ func (s *Server) Stats() Stats {
 		Rejected:        m.rejected.Value(),
 		InFlight:        m.inFlight.Value(),
 		CancelledBuilds: m.cancelled.Value(),
+		TimedOutBuilds:  m.timedOut.Value(),
+		ShedFast:        m.shed.With(laneFast).Value(),
+		ShedSlow:        m.shed.With(laneSlow).Value(),
+		ClientGone:      m.clientGone.Value(),
+		BreakerTrips:    m.breakerTrips.Value(),
+		BreakerRejected: m.breakerRejected.Value(),
+		BreakerOpenKeys: s.breaker.openKeys(),
 		Workers:         s.cfg.Workers,
 	}
 	if st.Queries > 0 {

@@ -270,6 +270,7 @@ var requiredFamilies = []string{
 	"reprod_snapshot_installs_total",
 	"reprod_builds_total",
 	"reprod_builds_cancelled_total",
+	"reprod_builds_timed_out_total",
 	"reprod_builds_in_flight",
 	"reprod_build_pool_occupancy",
 	"reprod_build_pool_size",
@@ -282,6 +283,14 @@ var requiredFamilies = []string{
 	"reprod_engine_buckets_total",
 	"reprod_mr_rounds_total",
 	"reprod_mr_pairs_shuffled_total",
+	"reprod_requests_shed_total",
+	"reprod_requests_client_gone_total",
+	"reprod_fast_lane_queue_depth",
+	"reprod_slow_lane_pending_builds",
+	"reprod_breaker_trips_total",
+	"reprod_breaker_rejected_total",
+	"reprod_breaker_probes_total",
+	"reprod_breaker_open_keys",
 }
 
 func TestMetricsExpositionWellFormed(t *testing.T) {

@@ -30,6 +30,11 @@ type requestInfo struct {
 	id          string
 	artifactKey string
 	cache       string
+
+	// slot is the request's fast-lane admission handle, set by wrapRaw so
+	// the artifact cache can park it while the request blocks on a build.
+	// Nil for direct API callers that never took a slot.
+	slot *laneSlot
 }
 
 type requestInfoKey struct{}

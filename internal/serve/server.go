@@ -7,9 +7,22 @@
 // parallel phase (seconds), queries are O(1) table lookups (microseconds).
 // Accordingly the server keeps a per-artifact cache keyed by
 // (graph, τ, seed, algorithm), deduplicates concurrent builds of the same
-// key single-flight style, and bounds total build+query concurrency with a
-// worker pool so a traffic spike degrades to queueing instead of memory
-// blow-up. Builds run detached, on their own goroutine under their own
+// key single-flight style, and admits traffic through two lanes that
+// mirror the cost split: a FAST lane (Config.Workers slots, a small
+// bounded wait queue) for the request's own compute — cached-artifact
+// lookups, point and batch queries, encoding — and a SLOW lane bounding
+// how many cold builds may be pending at once. A request that must wait
+// on a build parks its fast-lane slot for the duration, so warm queries
+// never queue behind a multi-second decomposition, even at Workers=1.
+// When a lane's bounded queue is full the request is load-shed with 503
+// plus a Retry-After header computed from live build-pool occupancy and
+// the per-kind build-duration histograms (admission.go). A key whose
+// builds keep failing trips a per-key circuit breaker — an exponential-
+// backoff negative cache with a half-open probe (breaker.go) — so a
+// poisoned key answers a fast 503 instead of re-burning a build slot,
+// and Config.BuildTimeout bounds the slowest cold build server-side
+// without capping warm responses (a timed-out build answers 504).
+// Builds run detached, on their own goroutine under their own
 // context and bounded by a build pool of the same size, with the requests
 // for the key counted as waiters: a request that disconnects frees its
 // worker slot immediately, and when the last waiter for an in-flight
@@ -101,6 +114,59 @@ type Config struct {
 	// structured request log. It runs on the request goroutine after the
 	// response is written, so it must not block.
 	RequestLog func(RequestLogEntry)
+
+	// FastLaneQueue bounds how many requests may wait for a fast-lane
+	// slot before new arrivals are load-shed with 503 + Retry-After.
+	// Fast-lane work is microseconds, so a deep queue only ever means the
+	// server is past saturation. Zero selects 256; negative means no
+	// queue (shed whenever every slot is busy).
+	FastLaneQueue int
+
+	// SlowLaneQueue bounds how many cold builds may be pending (queued
+	// plus running) beyond the build pool before new build requests are
+	// load-shed with 503 + a Retry-After estimated from live pool
+	// occupancy and the build-duration histograms. Zero selects
+	// 4×Workers; negative means no queue (shed whenever every build slot
+	// is busy).
+	SlowLaneQueue int
+
+	// BuildTimeout, when positive, bounds the running phase of every
+	// detached build server-side: a build that exceeds it is cancelled at
+	// its next engine barrier, its waiters answer 504, and the failure
+	// counts against the key's circuit breaker. Warm responses are never
+	// capped — the timeout applies to builds, not requests.
+	BuildTimeout time.Duration
+
+	// BreakerThreshold is how many consecutive terminal build failures
+	// (failed, panicked, timed out — not cancelled) open a key's circuit
+	// breaker. Non-positive selects 3.
+	BreakerThreshold int
+
+	// BreakerCooldown is the negative-cache duration after the breaker
+	// first opens; it doubles on every further failure (capped at 5m)
+	// and a half-open probe build is admitted once it expires.
+	// Non-positive selects 2s.
+	BreakerCooldown time.Duration
+
+	// FaultInjector, when non-nil, receives a callback at the start of
+	// every detached build. It exists ONLY for fault-injection tests
+	// (internal/serve/chaos): blocking in the hook delays the build,
+	// returning an error fails it, panicking exercises the panic
+	// containment. Production configurations leave it nil.
+	FaultInjector FaultInjector
+}
+
+// FaultInjector is the test-only fault-injection hook set threaded
+// through the build pipeline by Config.FaultInjector. Implementations
+// live in internal/serve/chaos; production servers run with none.
+type FaultInjector interface {
+	// BuildStarted runs on the detached build goroutine after the build
+	// acquires its pool slot and before the engines start, under the
+	// build's context (including any BuildTimeout). Blocking delays the
+	// build and must honour ctx; a non-nil return fails the build with
+	// that error; a panic is contained by the build's recover exactly
+	// like an engine panic.
+	BuildStarted(ctx context.Context, key Key) error
 }
 
 // Key identifies a build artifact: which graph, which algorithm, and the
@@ -202,17 +268,26 @@ func (e *entry) completed() bool {
 // optionally snapshot artifacts), then serve via Handler.
 type Server struct {
 	cfg   Config
-	sem   chan struct{}
+	fast  *lane        // fast-lane admission: the request worker pool
 	clock atomic.Int64 // logical time for LRU bookkeeping
 
 	// buildSem bounds the number of builds executing engines at once to
-	// Config.Workers. Request slots (sem) no longer cover builds end to
-	// end — a waiter's slot frees the moment it disconnects — so without
-	// this bound a disconnect loop could stack cancelled "zombie" builds,
-	// each still unwinding to its next barrier with GOMAXPROCS-wide
-	// engines, beside the fresh ones. Queued builds whose context is
-	// cancelled leave the queue without ever running.
+	// Config.Workers. Request slots (the fast lane) no longer cover
+	// builds end to end — a waiter parks its slot while blocked and
+	// frees it the moment it disconnects — so without this bound a
+	// disconnect loop could stack cancelled "zombie" builds, each still
+	// unwinding to its next barrier with GOMAXPROCS-wide engines, beside
+	// the fresh ones. Queued builds whose context is cancelled leave the
+	// queue without ever running.
 	buildSem chan struct{}
+
+	// slowPending counts builds admitted to the slow lane that have not
+	// finished (queued for a pool slot or running). The slow lane sheds
+	// new builds when it reaches cap(buildSem)+SlowLaneQueue.
+	slowPending atomic.Int64
+
+	// breaker is the per-key build circuit breaker (breaker.go).
+	breaker *breaker
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -246,10 +321,23 @@ func New(cfg Config) *Server {
 	if cfg.MaxArtifacts <= 0 {
 		cfg.MaxArtifacts = 128
 	}
+	switch {
+	case cfg.FastLaneQueue == 0:
+		cfg.FastLaneQueue = 256
+	case cfg.FastLaneQueue < 0:
+		cfg.FastLaneQueue = 0
+	}
+	switch {
+	case cfg.SlowLaneQueue == 0:
+		cfg.SlowLaneQueue = 4 * cfg.Workers
+	case cfg.SlowLaneQueue < 0:
+		cfg.SlowLaneQueue = 0
+	}
 	s := &Server{
 		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.Workers),
+		fast:     newLane(laneFast, cfg.Workers, cfg.FastLaneQueue),
 		buildSem: make(chan struct{}, cfg.Workers),
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		graphs:   make(map[string]*graph.Graph),
 		cache:    make(map[Key]*entry),
 		met:      newMetrics(),
@@ -288,6 +376,10 @@ func (s *Server) RegisterGraph(name string, g *graph.Graph) error {
 		}
 	}
 	s.graphs[name] = g
+	// The breaker's failure records belong to the old topology; a fresh
+	// graph starts with a clean slate. (breaker.mu nests inside s.mu
+	// here; the breaker never takes s.mu, so the order cannot invert.)
+	s.breaker.clearGraph(name)
 	return nil
 }
 
@@ -366,17 +458,11 @@ func (s *Server) graphNamesLocked() []string {
 	return names
 }
 
-// acquire takes a worker slot, honouring ctx cancellation while queued.
-func (s *Server) acquire(ctx context.Context) error {
-	select {
-	case s.sem <- struct{}{}:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
+// acquire takes a fast-lane worker slot, honouring ctx cancellation
+// while queued and shedding when the lane's bounded queue is full.
+func (s *Server) acquire(ctx context.Context) error { return s.fast.acquire(ctx) }
 
-func (s *Server) release() { <-s.sem }
+func (s *Server) release() { s.fast.release() }
 
 // artifact returns the cached value for key, building it with build on
 // first use. Exactly one build runs per key however many requests race;
@@ -419,9 +505,33 @@ func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.C
 			s.mu.Unlock()
 			return nil, ErrShuttingDown
 		}
+		// Gate the new build: the key's circuit breaker first (a poisoned
+		// key answers a fast 503 without touching the slow lane), then
+		// slow-lane admission (shed with Retry-After past the pending-build
+		// bound). Joins on in-flight builds never reach this path.
+		probe, berr := s.breaker.allow(key, time.Now())
+		if berr != nil {
+			s.mu.Unlock()
+			s.met.breakerRejected.Inc()
+			return nil, berr
+		}
+		if probe {
+			s.met.breakerProbes.Inc()
+		}
+		if err := s.admitBuild(key.Kind); err != nil {
+			s.mu.Unlock()
+			// A granted probe that never became a build must not jam the
+			// breaker half-open forever.
+			s.breaker.cancelled(key)
+			return nil, err
+		}
 		if len(s.cache) >= s.cfg.MaxArtifacts {
 			if !s.evictLRULocked() {
 				s.mu.Unlock()
+				// Undo the admission: this build will never reach
+				// finishBuild, where the slow lane is normally repaid.
+				s.slowPending.Add(-1)
+				s.breaker.cancelled(key)
 				return nil, ErrCacheFull
 			}
 		}
@@ -466,7 +576,22 @@ func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.C
 // the waiter refcount either way. joined says this request did not start
 // the build (a join counts as a cache hit, matching the pre-detached
 // accounting).
+//
+// A request that reaches here holds a fast-lane slot (when it came
+// through the HTTP layer) and is about to block for seconds: it PARKS
+// the slot — releases it for the duration of the wait and re-acquires
+// it before touching the value — so warm traffic keeps flowing through
+// the fast lane however many requests are camped on cold builds, even
+// at Workers=1. Direct API callers (tests, the daemon's bootstrap) have
+// no slot and skip the juggling.
 func (s *Server) await(ctx context.Context, key Key, e *entry, joined bool) (any, error) {
+	var slot *laneSlot
+	if ri := requestInfoFrom(ctx); ri != nil {
+		slot = ri.slot
+	}
+	if slot != nil {
+		slot.park()
+	}
 	select {
 	case <-e.ready:
 		s.mu.Lock()
@@ -475,6 +600,13 @@ func (s *Server) await(ctx context.Context, key Key, e *entry, joined bool) (any
 			e.trace.setWaiters(e.waiters)
 		}
 		s.mu.Unlock()
+		if slot != nil {
+			if err := slot.unpark(ctx); err != nil {
+				// Client gone while re-entering the fast lane: the slot
+				// stays unheld, so the deferred release up the stack no-ops.
+				return nil, err
+			}
+		}
 		if e.err != nil {
 			return nil, e.err
 		}
@@ -596,6 +728,13 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 		return
 	}
 	e.trace.markRunning()
+	// Config.BuildTimeout bounds the RUNNING phase only: the clock starts
+	// at slot acquisition, never while the build is queued for the pool,
+	// so pool contention cannot spend a build's deadline for it.
+	runCtx, cancelRun := ctx, context.CancelFunc(func() {})
+	if s.cfg.BuildTimeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(ctx, s.cfg.BuildTimeout)
+	}
 	stop := s.met.buildTimer()
 	var panicked bool
 	val, err := func() (val any, err error) {
@@ -603,18 +742,34 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 		// recover contained a panicking build to one failed request; a
 		// detached goroutine has no such net, so restore the containment
 		// here — the panic becomes a failed (retryable) build, not a
-		// daemon crash.
+		// daemon crash. The fault injector runs inside the same net, so an
+		// injected panic exercises exactly this containment.
 		defer func() {
 			if r := recover(); r != nil {
 				panicked = true
 				val, err = nil, fmt.Errorf("serve: build %v panicked: %v", key, r)
 			}
 		}()
-		return build(ctx)
+		if fi := s.cfg.FaultInjector; fi != nil {
+			if ferr := fi.BuildStarted(runCtx, key); ferr != nil {
+				return nil, ferr
+			}
+		}
+		return build(runCtx)
 	}()
 	elapsed := stop()
 	s.met.buildLatency.With(key.Kind).Observe(elapsed.Seconds())
 	<-s.buildSem
+	if err != nil && errors.Is(runCtx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+		// The server-side build deadline fired — distinguishable from a
+		// waiter cancellation because the outer (waiter-driven) context is
+		// still live. Normalize the error so waiters see DeadlineExceeded
+		// (mapped to 504) however the engines dressed the cancellation up.
+		e.trace.markTimedOut()
+		err = fmt.Errorf("serve: build %v exceeded build timeout %s: %w",
+			key, s.cfg.BuildTimeout, context.DeadlineExceeded)
+	}
+	cancelRun()
 	if panicked {
 		e.trace.markPanicked()
 	}
@@ -628,11 +783,15 @@ func (s *Server) runBuild(ctx context.Context, key Key, e *entry, build func(ctx
 func (s *Server) finishBuild(key Key, e *entry, val any, err error, elapsed time.Duration) {
 	// Resolve the terminal trace state before publishing, so a waiter that
 	// wakes on ready and immediately scrapes /builds sees the final state.
+	// Timed-out is checked before the cancellation catch-all: its
+	// normalized error wraps DeadlineExceeded too.
 	state := BuildDone
 	switch {
 	case err == nil:
 	case e.trace.didPanic():
 		state = BuildPanicked
+	case e.trace.didTimeout():
+		state = BuildTimedOut
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		state = BuildCancelled
 	default:
@@ -643,6 +802,25 @@ func (s *Server) finishBuild(key Key, e *entry, val any, err error, elapsed time
 		errMsg = err.Error()
 	}
 	e.trace.finish(state, errMsg)
+
+	// Repay the slow lane (every admitted build reaches here exactly once)
+	// and feed the breaker: a good build closes the key's breaker, a
+	// cancellation says nothing about its health, and every other terminal
+	// state counts toward tripping it.
+	s.slowPending.Add(-1)
+	switch state {
+	case BuildDone:
+		s.breaker.success(key)
+	case BuildCancelled:
+		s.breaker.cancelled(key)
+	default:
+		if state == BuildTimedOut {
+			s.met.timedOut.Inc()
+		}
+		if s.breaker.failure(key, time.Now()) {
+			s.met.breakerTrips.Inc()
+		}
+	}
 
 	s.mu.Lock()
 	e.val, e.err = val, err

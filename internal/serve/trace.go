@@ -20,6 +20,7 @@ const (
 	BuildCancelled = "cancelled" // last waiter left (or the server drained)
 	BuildFailed    = "failed"    // build returned a non-cancellation error
 	BuildPanicked  = "panicked"  // build panicked; recovered into a failed entry
+	BuildTimedOut  = "timed_out" // exceeded the server-side Config.BuildTimeout
 )
 
 // recentBuilds bounds the ring of completed build traces /builds retains.
@@ -57,6 +58,7 @@ type buildTrace struct {
 	finishedAt time.Time // zero until terminal
 	errMsg     string
 	panicked   bool
+	timedOut   bool
 }
 
 func newBuildTrace(id int64, key Key) *buildTrace {
@@ -116,6 +118,21 @@ func (t *buildTrace) didPanic() bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.panicked
+}
+
+// markTimedOut flags the build as killed by the server-side build
+// deadline, so the terminal state distinguishes it from a waiter-driven
+// cancellation.
+func (t *buildTrace) markTimedOut() {
+	t.mu.Lock()
+	t.timedOut = true
+	t.mu.Unlock()
+}
+
+func (t *buildTrace) didTimeout() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timedOut
 }
 
 // finish stamps the terminal state. errMsg is empty for BuildDone.

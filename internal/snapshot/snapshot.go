@@ -237,17 +237,26 @@ func Read(r io.Reader) (*Artifact, error) {
 	return &Artifact{Meta: meta, Graph: g, Oracle: o}, nil
 }
 
-// Save writes the artifact to the named file (atomically via a temp file in
-// the same directory, so a crash mid-write never leaves a half snapshot at
-// the target path).
-func Save(path string, a *Artifact) error {
+// Save writes the artifact to the named file atomically: the bytes go to
+// a temp file in the same directory and only a fully written, synced
+// temp is renamed over the target. A crash (or error) at any point mid-
+// write therefore never leaves a truncated snapshot at the target path —
+// the previous snapshot, if any, survives intact — which is what lets a
+// snapshot-only restart trust whatever it finds there. Every failure
+// path removes the temp file, so an interrupted -drain shutdown cannot
+// litter the snapshot directory with orphaned .snapshot-* files either.
+func Save(path string, a *Artifact) (err error) {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp.Name())
+		}
+	}()
 	if err := Write(tmp, a); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
 		return err
 	}
 	// Flush file data before the rename: a journaled rename of un-synced
@@ -255,11 +264,9 @@ func Save(path string, a *Artifact) error {
 	// target path.
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmp.Name())
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
 		return err
 	}
 	return os.Rename(tmp.Name(), path)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -275,4 +276,111 @@ func equalI32(a, b []int32) bool {
 		}
 	}
 	return true
+}
+
+// listTempFiles returns the .snapshot-* temp files in dir — Save's
+// private scratch names, which must never outlive a Save call.
+func listTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, ".snapshot-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestSaveFailureLeavesTargetIntact is the truncation-mid-write
+// regression test: a Save that fails partway (here: the final rename,
+// forced by planting a directory at the target path) must leave the
+// previous snapshot byte-identical and loadable, and must not leave a
+// temp file behind. This is the property a snapshot-only restart after
+// a crashed -drain shutdown depends on.
+func TestSaveFailureLeavesTargetIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	g := graph.Mesh(12, 12)
+	if err := Save(path, buildArtifact(t, g, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A directory squatting on a second target path makes the rename
+	// fail after the temp file was fully written — the latest failure
+	// point Save has.
+	blocked := filepath.Join(dir, "blocked.bin")
+	if err := os.MkdirAll(filepath.Join(blocked, "x"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(blocked, buildArtifact(t, g, 1, 3)); err == nil {
+		t.Fatal("Save onto a directory succeeded")
+	}
+	if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+		t.Fatalf("failed Save left temp files behind: %v", tmps)
+	}
+
+	// The original snapshot is untouched and still loads.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed Save mutated an unrelated existing snapshot")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("snapshot unloadable after failed Save: %v", err)
+	}
+}
+
+// TestSaveOverwriteAtomic: overwriting an existing snapshot goes through
+// the same temp+rename path — afterwards the file is entirely the new
+// artifact (never a splice of old and new) and no scratch remains.
+func TestSaveOverwriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	g := graph.Mesh(12, 12)
+	if err := Save(path, buildArtifact(t, g, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, buildArtifact(t, g, 2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Tau != 2 || got.Meta.Seed != 9 {
+		t.Fatalf("loaded meta %+v, want the overwriting artifact", got.Meta)
+	}
+	if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+		t.Fatalf("successful Save left temp files behind: %v", tmps)
+	}
+}
+
+// TestLoadTruncatedFile exercises the on-disk half of the truncation
+// story: however a file at the snapshot path got cut short (the exact
+// artifact a non-atomic writer would leave after a crash), Load must
+// fail cleanly rather than hand back a half-decoded artifact.
+func TestLoadTruncatedFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	g := graph.Mesh(12, 12)
+	if err := Save(path, buildArtifact(t, g, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cutPath := filepath.Join(dir, "cut.bin")
+	for _, cut := range []int{0, 16, len(full) / 3, len(full) - 4, len(full) - 1} {
+		if err := os.WriteFile(cutPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(cutPath); err == nil {
+			t.Fatalf("Load of file truncated at %d/%d succeeded", cut, len(full))
+		}
+	}
 }
