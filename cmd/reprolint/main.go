@@ -1,0 +1,60 @@
+// Command reprolint is the repository's analyzer suite as a vettool: five
+// go/analysis-style checkers enforcing the determinism, atomics, locking,
+// context, and metric-naming invariants (see internal/lint).
+//
+// Usage:
+//
+//	go vet -vettool=$(command -v reprolint) ./...   # the vet protocol
+//	reprolint ./...                                 # convenience: re-execs go vet
+//
+// Individual analyzers toggle like vet checks: reprolint -determinism ./...
+// runs only that one; -lockedsuffix=false excludes one from the suite.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/unitchecker"
+)
+
+func main() {
+	// Package-pattern operands mean the user invoked reprolint directly;
+	// delegate to go vet with ourselves as the vettool so both entry
+	// points share one driver. vet.cfg operands (and the -flags/-V probes,
+	// which carry no operands) take the unitchecker path.
+	var patterns []string
+	for _, arg := range os.Args[1:] {
+		if !strings.HasPrefix(arg, "-") && !strings.HasSuffix(arg, ".cfg") {
+			patterns = append(patterns, arg)
+		}
+	}
+	if len(patterns) > 0 {
+		os.Exit(delegate())
+	}
+	unitchecker.Main(lint.Analyzers()...)
+}
+
+func delegate() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	args := append([]string{"vet", "-vettool=" + exe}, os.Args[1:]...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -72,7 +72,7 @@ const phi = 0.77351
 
 // Run executes ANF on g until the sketches saturate.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow walltime accounting-only: Elapsed never influences sketch updates
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("anf: empty graph")

@@ -421,6 +421,8 @@ func (e *Engine) stepPush(push func(worker int, u, v NodeID) bool) (arcs, claime
 // adjacency for frontier members and adopts per spec.Pull. Worker chunks
 // are 64-aligned so visited-bitmap writes stay word-confined and the next
 // frontier comes out in ascending node order — fully deterministic.
+//
+//lint:allow plainatomic 64-aligned chunks: each worker owns its visited words exclusively
 func (e *Engine) stepPull(spec StepSpec) (arcs, claimedDeg int64) {
 	e.syncFrontierBits()
 	t := e.t

@@ -165,8 +165,9 @@ func NewWeightedEngine(t WeightedTopology, workers int, delta int64) *WeightedEn
 		offersW: make([]int64, w),
 	}
 	e.splitEdges()
+	//lint:allow plainatomic construction: pool workers have no work yet
 	for i := range e.slot {
-		e.slot[i] = unclaimed
+		e.slot[i] = unclaimed //lint:allow plainatomic construction
 	}
 	return e
 }
@@ -254,7 +255,10 @@ func (e *WeightedEngine) Err() error {
 // Close stops the pool goroutines. The engine must not be used afterwards.
 func (e *WeightedEngine) Close() { e.pool.Close() }
 
-// reset clears the claim and bucket state for a fresh run.
+// reset clears the claim and bucket state for a fresh run. Runs on the
+// driving goroutine between searches: workers are parked at the barrier.
+//
+//lint:allow plainatomic driver-only barrier phase, no concurrent writers
 func (e *WeightedEngine) reset(grow bool) {
 	for i := range e.slot {
 		e.slot[i] = unclaimed
@@ -270,6 +274,7 @@ func (e *WeightedEngine) reset(grow bool) {
 	e.inR.ClearAll()
 	e.updBits.ClearAll()
 	e.overflow.Store(false)
+	//lint:allow mapiter order only affects backing-array recycling into e.free, never output
 	for id, b := range e.buckets {
 		e.free = append(e.free, b[:0])
 		delete(e.buckets, id)
@@ -337,6 +342,8 @@ func (e *WeightedEngine) heapPop() int64 {
 
 // addSource claims u at distance zero for owner and queues it in bucket 0.
 // Must not be called while a bucket is being processed.
+//
+//lint:allow plainatomic driver-only barrier phase, no concurrent writers
 func (e *WeightedEngine) addSource(u, owner NodeID) {
 	e.slot[u] = uint64(owner) & e.ownerMask // dist 0 in the high bits
 	e.insert(u, 0)
@@ -397,7 +404,7 @@ func (e *WeightedEngine) relaxPhase(nodes []NodeID, words []uint64, heavy bool) 
 			if words != nil {
 				word = words[i]
 			} else {
-				word = slot[u]
+				word = slot[u] //lint:allow plainatomic nil words: heavy phase of a settled bucket, slots stable (see doc)
 			}
 			du := int64(word >> shift)
 			base := word & mask
@@ -413,8 +420,8 @@ func (e *WeightedEngine) relaxPhase(nodes []NodeID, words []uint64, heavy bool) 
 				nw := uint64(nd)<<shift | base
 				if seq {
 					// Single worker: same min-reduction, no atomics.
-					if nw < slot[v] {
-						slot[v] = nw
+					if nw < slot[v] { //lint:allow plainatomic workers==1 fast path
+						slot[v] = nw //lint:allow plainatomic workers==1 fast path
 						if !updBits.Get(v) {
 							updBits.Set(v)
 							buf = append(buf, v)
@@ -448,6 +455,8 @@ func (e *WeightedEngine) relaxPhase(nodes []NodeID, words []uint64, heavy bool) 
 
 // admit appends v to the current bucket's frontier (and settlement set R)
 // with its now-stable distance word.
+//
+//lint:allow plainatomic driver-only barrier phase, no concurrent writers
 func (e *WeightedEngine) admit(v NodeID) {
 	e.frontier = append(e.frontier, v)
 	e.fwords = append(e.fwords, e.slot[v])
@@ -460,7 +469,11 @@ func (e *WeightedEngine) admit(v NodeID) {
 // processBucket settles the lowest pending bucket: repeated light-edge
 // phases until the bucket stops changing, then one heavy-edge phase from
 // everything the bucket settled. It reports whether any bucket held live
-// work (stale entries are consumed either way).
+// work (stale entries are consumed either way). Slot reads here happen on
+// the driving goroutine between relaxation phases, when the claim words
+// are quiescent.
+//
+//lint:allow plainatomic driver-only barrier phases, workers parked between relaxations
 func (e *WeightedEngine) processBucket() bool {
 	before := e.stats
 	for len(e.bheap) > 0 {
@@ -550,7 +563,7 @@ func (e *WeightedEngine) SSSP(src NodeID, dist []int64) int64 {
 	}
 	var ecc int64
 	for i := range dist {
-		if w := e.slot[i]; w != unclaimed {
+		if w := e.slot[i]; w != unclaimed { //lint:allow plainatomic search complete, claim words final
 			dist[i] = int64(w)
 			if dist[i] > ecc {
 				ecc = dist[i]
@@ -603,7 +616,10 @@ func (e *WeightedEngine) Settled(u NodeID) bool { return e.settled.Get(u) }
 func (e *WeightedEngine) SettledCount() int { return e.settledN }
 
 // Extract writes the settled claims into dist and owner (len NumNodes).
-// Unsettled nodes get WInf and owner -1.
+// Unsettled nodes get WInf and owner -1. Called between ProcessBucket
+// calls, when the claim words are quiescent.
+//
+//lint:allow plainatomic driver-only barrier phase, no concurrent writers
 func (e *WeightedEngine) Extract(dist []int64, owner []NodeID) {
 	for u := 0; u < e.n; u++ {
 		if e.settled.Get(NodeID(u)) {

@@ -25,6 +25,7 @@ import (
 // exhausted, and if a batch samples no centers while no cluster can grow,
 // the lowest-id uncovered node is forcibly selected.
 func Cluster(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	//lint:allow background public non-cancellable wrapper; ClusterContext is the cancellable form
 	return ClusterContext(context.Background(), g, tau, opt)
 }
 
@@ -60,7 +61,7 @@ func ClusterContext(ctx context.Context, g *graph.Graph, tau int, opt Options) (
 			// Guard: nothing can grow and nothing was sampled; force one
 			// center so the iteration makes progress.
 			for u := 0; u < n; u++ {
-				if gr.owner[u] == -1 {
+				if gr.owner[u] == -1 { //lint:allow plainatomic between-rounds barrier, no writers live
 					centers = append(centers, graph.NodeID(u))
 					break
 				}

@@ -21,6 +21,7 @@ import (
 // clusters. With high probability the result has O(τ·log⁴n) clusters of
 // maximum radius at most 2·R_ALG·log n (Lemma 2).
 func Cluster2(g *graph.Graph, tau int, opt Options) (*Clustering, error) {
+	//lint:allow background public non-cancellable wrapper; Cluster2Context is the cancellable form
 	return Cluster2Context(context.Background(), g, tau, opt)
 }
 
@@ -40,6 +41,7 @@ func Cluster2WithRadius(g *graph.Graph, rAlg int32, opt Options) (*Clustering, e
 	if rAlg < 0 {
 		return nil, errors.New("core: negative radius bound")
 	}
+	//lint:allow background public non-cancellable wrapper over cluster2With
 	return cluster2With(context.Background(), g, rAlg, opt)
 }
 

@@ -88,7 +88,7 @@ type DiameterResult struct {
 // aborts the build — in the clustering phase or between the quotient
 // diameter searches — and returns ctx.Err().
 func ApproxDiameter(ctx context.Context, g *graph.Graph, opt DiameterOptions) (*DiameterResult, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow walltime accounting-only: Elapsed never influences the bounds
 	n := g.NumNodes()
 	if n == 0 {
 		return nil, errors.New("core: diameter of empty graph")
@@ -122,6 +122,7 @@ func ApproxDiameter(ctx context.Context, g *graph.Graph, opt DiameterOptions) (*
 // decomposition (the clustering phase dominates the cost; this entry point
 // lets experiments reuse one clustering for several analyses).
 func DiameterFromClustering(cl *Clustering, exactBudget int) (*DiameterResult, error) {
+	//lint:allow background public non-cancellable wrapper over diameterFromClustering
 	return diameterFromClustering(context.Background(), cl, exactBudget, 0, 0)
 }
 

@@ -131,6 +131,7 @@ func (c *WeightedClustering) Validate() error {
 // deterministic for a given seed: identical centers, owners, and radii at
 // every worker count.
 func WeightedCluster(wg *graph.Weighted, tau int, opt Options) (*WeightedClustering, error) {
+	//lint:allow background public non-cancellable wrapper; WeightedClusterContext is the cancellable form
 	return WeightedClusterContext(context.Background(), wg, tau, opt)
 }
 
@@ -343,9 +344,19 @@ func ApproxDiameterWeighted(wg *graph.Weighted, tau int, opt Options) (*Weighted
 			}
 		}
 	}
+	// Emit the quotient edges in sorted key order: adjacency order feeds
+	// graph.NewWeighted, so map iteration here would leak nondeterminism
+	// into the quotient traversal.
+	keys := make([]uint64, 0, len(minW))
+	//lint:allow mapiter keys are sorted immediately below
+	for key := range minW {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	edges := make([][2]graph.NodeID, 0, len(minW))
 	weights := make([]int32, 0, len(minW))
-	for key, w := range minW {
+	for _, key := range keys {
+		w := minW[key]
 		a := graph.NodeID(key >> 32)
 		b := graph.NodeID(uint32(key))
 		edges = append(edges, [2]graph.NodeID{a, b})

@@ -110,12 +110,14 @@ func PipelineAblation(cfg Config) ([]PipelineRow, error) {
 		g := d.Build(cfg.scale())
 		truth, _ := TrueDiameter(d, cfg.scale(), g)
 		tau := 4
+		//lint:allow background batch experiment driver: the cmd/tables process lifetime is the context
 		r1, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{
 			Options: core.Options{Seed: cfg.Seed, Workers: cfg.Workers}, Tau: tau,
 		})
 		if err != nil {
 			return nil, err
 		}
+		//lint:allow background batch experiment driver: the cmd/tables process lifetime is the context
 		r2, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{
 			Options: core.Options{Seed: cfg.Seed, Workers: cfg.Workers}, Tau: tau,
 			UseCluster2: true,

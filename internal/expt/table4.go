@@ -88,6 +88,7 @@ func ClusterCost(cfg Config, g *graph.Graph, target int) (*AlgoCost, error) {
 	if err != nil {
 		return nil, err
 	}
+	//lint:allow background batch experiment driver: the cmd/tables process lifetime is the context
 	res, err := core.ApproxDiameter(context.Background(), g, core.DiameterOptions{Options: opt, Tau: tau})
 	if err != nil {
 		return nil, err

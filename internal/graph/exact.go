@@ -57,6 +57,7 @@ func engineBFSInto(e *bsp.Engine, src NodeID, dist []int32) int32 {
 // hit, the result is the best lower bound found and exact is false.
 func (g *Graph) ExactDiameter(maxBFS int) (diam int32, exact bool) {
 	// A background context never cancels, so the error is unreachable.
+	//lint:allow background public non-cancellable wrapper; ExactDiameterContext is the cancellable form
 	diam, exact, _ = g.ExactDiameterContext(context.Background(), maxBFS)
 	return diam, exact
 }
@@ -301,6 +302,7 @@ func argMax64(dist []int64) NodeID {
 // return the max over components (unreachable pairs are ignored).
 func (g *Weighted) ExactDiameterWeighted(maxSearches int) (diam int64, exact bool) {
 	// A background context never cancels, so the error is unreachable.
+	//lint:allow background public non-cancellable wrapper; ExactDiameterWeightedContext is the cancellable form
 	diam, exact, _ = g.ExactDiameterWeightedContext(context.Background(), maxSearches)
 	return diam, exact
 }

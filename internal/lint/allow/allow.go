@@ -1,0 +1,81 @@
+// Package allow implements the //lint:allow annotation grammar shared by
+// every reprolint analyzer.
+//
+// Grammar, one annotation per comment:
+//
+//	//lint:allow <check> [free-form justification]
+//
+// where <check> names the specific rule being waived (walltime, mapiter,
+// rand, plainatomic, locked, background). An annotation applies to:
+//
+//   - every violation on the same source line as the comment,
+//   - every violation on the line immediately below a comment that stands
+//     alone on its line (annotation-above style), and
+//   - for function-scoped waivers, every violation inside a function whose
+//     declaration line or doc comment carries the annotation (only
+//     analyzers that opt in consult this form; see AllowedFunc).
+//
+// A justification after the check name is strongly encouraged — the
+// annotation exists to force the "why" to live next to the exception.
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Index records, per source line, which checks are waived there.
+type Index struct {
+	fset  *token.FileSet
+	lines map[int]map[string]bool // line -> set of waived checks
+}
+
+const prefix = "//lint:allow"
+
+// NewIndex scans the comments of the given files (which must belong to
+// fset) and returns the annotation index.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	idx := &Index{fset: fset, lines: make(map[int]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(text[len(prefix):])
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				check := fields[0]
+				pos := fset.Position(c.Pos())
+				set := idx.lines[pos.Line]
+				if set == nil {
+					set = make(map[string]bool)
+					idx.lines[pos.Line] = set
+				}
+				set[check] = true
+			}
+		}
+	}
+	return idx
+}
+
+// Allowed reports whether check is waived at pos: an annotation on the
+// same line, or on the line immediately above.
+func (idx *Index) Allowed(pos token.Pos, check string) bool {
+	line := idx.fset.Position(pos).Line
+	return idx.lines[line][check] || idx.lines[line-1][check]
+}
+
+// AllowedFunc reports whether check is waived for the whole of fn: an
+// annotation on (or immediately above) the func keyword, which covers the
+// doc-comment form since doc comments end on the preceding line.
+func (idx *Index) AllowedFunc(fn *ast.FuncDecl, check string) bool {
+	if fn == nil {
+		return false
+	}
+	return idx.Allowed(fn.Pos(), check)
+}

@@ -1,0 +1,252 @@
+// Package analysistest runs an analyzer over GOPATH-style test packages
+// and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the stdlib only.
+//
+// Layout: <testdata>/src/<import/path>/*.go. A package may import other
+// packages under the same testdata tree (they are loaded, analyzed first,
+// and their facts made available) or the standard library (type-checked
+// from $GOROOT source via go/importer's "source" mode, so no compiled
+// artifacts are needed).
+//
+// Expectations are comments of the form
+//
+//	expr // want "regexp" "another regexp"
+//
+// Each quoted string (Go-quoted or backquoted) must match, by line, one
+// diagnostic the analyzer reports; unexpected diagnostics and unmatched
+// expectations both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// TestData returns the canonical testdata directory of the caller's
+// package: ./testdata relative to the current working directory (go test
+// runs with the package directory as cwd).
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each named package found under testdata/src and compares
+// diagnostics with the packages' // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	analysis.RegisterFactTypes([]*analysis.Analyzer{a})
+	ld := &loader{
+		t:        t,
+		testdata: testdata,
+		analyzer: a,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*loadedPkg),
+		facts:    analysis.NewFactStore(),
+	}
+	ld.source = importer.ForCompiler(ld.fset, "source", nil)
+	for _, path := range pkgpaths {
+		lp := ld.load(path)
+		if lp == nil {
+			continue
+		}
+		check(t, ld.fset, lp)
+	}
+}
+
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	diags []analysis.Diagnostic
+}
+
+type loader struct {
+	t        *testing.T
+	testdata string
+	analyzer *analysis.Analyzer
+	fset     *token.FileSet
+	source   types.Importer
+	pkgs     map[string]*loadedPkg
+	facts    *analysis.FactStore
+}
+
+// load parses, type-checks, and analyzes one testdata package (memoized).
+func (ld *loader) load(path string) *loadedPkg {
+	ld.t.Helper()
+	if lp, ok := ld.pkgs[path]; ok {
+		return lp
+	}
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Errorf("analysistest: %v", err)
+		return nil
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		ld.t.Errorf("analysistest: no Go files in %s", dir)
+		return nil
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Errorf("analysistest: %v", err)
+			return nil
+		}
+		files = append(files, f)
+	}
+
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if dirExists(filepath.Join(ld.testdata, "src", filepath.FromSlash(importPath))) {
+			dep := ld.load(importPath)
+			if dep == nil {
+				return nil, fmt.Errorf("loading testdata package %q failed", importPath)
+			}
+			return dep.pkg, nil
+		}
+		return ld.source.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{Importer: imp}
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		ld.t.Errorf("analysistest: type-checking %s: %v", path, err)
+		return nil
+	}
+
+	unit := &analysis.Unit{Fset: ld.fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := analysis.Run(unit, []*analysis.Analyzer{ld.analyzer}, ld.facts)
+	if err != nil {
+		ld.t.Errorf("analysistest: %v", err)
+		return nil
+	}
+	lp := &loadedPkg{path: path, files: files, pkg: pkg, diags: diags}
+	ld.pkgs[path] = lp
+	return lp
+}
+
+// expectation is one unconsumed "want" regexp at a file:line.
+type expectation struct {
+	re       *regexp.Regexp
+	raw      string
+	consumed bool
+}
+
+func check(t *testing.T, fset *token.FileSet, lp *loadedPkg) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range lp.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				rest := strings.TrimSpace(text[len("want "):])
+				pos := fset.Position(c.Pos())
+				for rest != "" {
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want comment %q: %v", pos, rest, err)
+						break
+					}
+					unq, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want string %q: %v", pos, q, err)
+						break
+					}
+					re, err := regexp.Compile(unq)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, unq, err)
+						break
+					}
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &expectation{re: re, raw: unq})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+
+	for _, d := range lp.diags {
+		pos := fset.Position(d.Pos)
+		k := lineKey{pos.Filename, pos.Line}
+		matched := false
+		for _, exp := range wants[k] {
+			if !exp.consumed && exp.re.MatchString(d.Message) {
+				exp.consumed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, exp := range wants[k] {
+			if !exp.consumed {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, exp.raw)
+			}
+		}
+	}
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

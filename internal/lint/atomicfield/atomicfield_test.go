@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfield.Analyzer, "atomictest")
+}

@@ -1,0 +1,121 @@
+// Package atomictest is analyzer testdata exercising every access shape
+// the atomicfield analyzer tracks: direct atomics, address-through-local,
+// slice-copy aliases, and atomic helper functions.
+package atomictest
+
+import "sync/atomic"
+
+type S struct {
+	n     uint64   // word-atomic via AddUint64
+	flags []uint64 // element-atomic via CAS on &s.flags[i]
+	mask  []uint64 // element-atomic only through the casRaise helper
+	plain []int    // never touched atomically: exempt
+}
+
+// --- the sanctioning atomic accesses ---
+
+func (s *S) bump() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+func (s *S) setFlag(i int) {
+	for {
+		cur := atomic.LoadUint64(&s.flags[i])
+		if atomic.CompareAndSwapUint64(&s.flags[i], cur, cur|1) {
+			return
+		}
+	}
+}
+
+// casRaise forwards its pointer parameter into sync/atomic, making it an
+// atomic helper: its call sites transmit atomicity like atomic.* calls.
+func casRaise(p *uint64, v uint64) {
+	for {
+		cur := atomic.LoadUint64(p)
+		if atomic.CompareAndSwapUint64(p, cur, cur|v) {
+			return
+		}
+	}
+}
+
+func (s *S) raiseMask(j int, v uint64) {
+	casRaise(&s.mask[j], v)
+}
+
+// addressThroughLocal is the repository's dominant idiom: the address goes
+// into a local first. All uses here are atomic, so nothing is flagged.
+func (s *S) addressThroughLocal(i int) uint64 {
+	w := &s.flags[i]
+	return atomic.LoadUint64(w)
+}
+
+// sliceCopyHelper snapshots the slice header and feeds an element address
+// to the helper — still atomic end to end.
+func (s *S) sliceCopyHelper(i int, v uint64) {
+	f := s.flags
+	casRaise(&f[i], v)
+}
+
+// --- plain accesses that must be flagged ---
+
+func (s *S) badRead() uint64 {
+	return s.n // want `field S\.n is accessed with sync/atomic elsewhere .* plain read`
+}
+
+func (s *S) badWrite() {
+	s.n = 0 // want `field S\.n is accessed with sync/atomic elsewhere .* plain write`
+}
+
+func (s *S) badElement(i int) uint64 {
+	return s.flags[i] // want `field S\.flags is accessed with sync/atomic elsewhere .* plain element access`
+}
+
+func (s *S) badRange() uint64 {
+	var total uint64
+	for _, w := range s.flags { // want `field S\.flags .* plain range over elements`
+		total += w
+	}
+	return total
+}
+
+func (s *S) badHelperField(j int) uint64 {
+	return s.mask[j] // want `field S\.mask is accessed with sync/atomic elsewhere .* plain element access`
+}
+
+func (s *S) badAliasIndex(i int) uint64 {
+	f := s.flags
+	return f[i] // want `field S\.flags .* plain element access through local alias f`
+}
+
+func (s *S) badAliasDeref(i int) {
+	w := &s.flags[i]
+	*w = 5 // want `field S\.flags .* plain dereference through local alias w`
+}
+
+// --- legal shapes: no diagnostics ---
+
+func (s *S) okHeaderOps(n int) int {
+	s.flags = make([]uint64, n) // whole-header write: setup-time, legal
+	return len(s.flags)
+}
+
+func (s *S) okUnrelated() int {
+	return s.plain[0] // field never accessed atomically
+}
+
+// --- the sanctioned escape hatches ---
+
+func (s *S) okLineAllow() {
+	s.n = 1 //lint:allow plainatomic construction precedes any concurrent access
+}
+
+// okFuncAllow is a documented single-writer phase; the function-level
+// annotation waives every access in the body.
+//
+//lint:allow plainatomic single-writer reset: workers are parked at the barrier
+func (s *S) okFuncAllow() {
+	s.n = 0
+	for i := range s.flags {
+		s.flags[i] = 0
+	}
+}

@@ -1,0 +1,7 @@
+package atomictest
+
+// Test files are exempt: tests inspect state after joining the goroutines
+// they spawned, so plain reads of atomic fields draw no diagnostics here.
+func readForAssertion(s *S) uint64 {
+	return s.n + s.flags[0]
+}

@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ctxflow.Analyzer,
+		"example.com/internal/pipe", // internal path: both rules apply
+		"example.com/outside",       // non-internal path: silent
+	)
+}

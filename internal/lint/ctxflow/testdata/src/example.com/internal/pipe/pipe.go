@@ -1,0 +1,64 @@
+// Package pipe is analyzer testdata on an internal/ import path: fresh
+// context roots are forbidden and exported superstep loops must accept a
+// context.Context.
+package pipe
+
+import "context"
+
+func Root() context.Context {
+	return context.Background() // want `context\.Background in internal package example\.com/internal/pipe`
+}
+
+func Todo() context.Context {
+	return context.TODO() // want `context\.TODO in internal package example\.com/internal/pipe`
+}
+
+func AllowedRoot() context.Context {
+	//lint:allow background daemon-owned detached root
+	return context.Background()
+}
+
+// Engine mimics the BSP engine's barrier primitive.
+type Engine struct{ frontier int }
+
+func (e *Engine) Step(ctx context.Context) bool {
+	_ = ctx
+	e.frontier--
+	return e.frontier > 0
+}
+
+// Drive loops over Step barriers without a ctx: uncancellable by
+// construction.
+func Drive(e *Engine) { // want `exported function Drive loops over Step barriers but accepts no context\.Context`
+	for i := 0; i < 8; i++ {
+		e.Step(nil)
+	}
+}
+
+// DriveCond loops with the barrier call in the loop condition.
+func DriveCond(e *Engine) { // want `exported function DriveCond loops over Step barriers but accepts no context\.Context`
+	for e.Step(nil) {
+	}
+}
+
+// DriveCtx accepts a context: fine, regardless of whether it checks it
+// (that is the analyzer's syntactic contract, not a liveness proof).
+func DriveCtx(ctx context.Context, e *Engine) {
+	for e.Step(ctx) {
+	}
+}
+
+// drive is unexported: internal helpers inherit their caller's contract.
+func drive(e *Engine) {
+	for e.Step(nil) {
+	}
+}
+
+// Drain is a method: engine types carry their context via SetContext, so
+// methods are exempt from the parameter rule.
+func (e *Engine) Drain() {
+	for e.Step(nil) {
+	}
+}
+
+var _ = drive

@@ -1,0 +1,9 @@
+// Package outside is analyzer testdata on a non-internal import path: the
+// cancellation contract does not apply here.
+package outside
+
+import "context"
+
+func Root() context.Context {
+	return context.Background()
+}

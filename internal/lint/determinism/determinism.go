@@ -1,0 +1,118 @@
+// Package determinism defines an analyzer enforcing the repository's
+// bit-for-bit reproducibility contract inside the engine packages.
+//
+// The paper's acceptance tests pin CLUSTER(τ), the oracle build, and the
+// MR layer to identical outputs across worker and shard counts. Three
+// constructs silently void that guarantee and are banned from engine
+// packages (internal/bsp, internal/mr, internal/core, internal/mpx,
+// internal/anf) outside _test.go files:
+//
+//   - ranging over a map: iteration order is randomized per run, so any
+//     reducer, frontier, or stats path that observes it diverges between
+//     runs. Iterate sorted keys instead, or waive a genuinely
+//     order-insensitive loop with //lint:allow mapiter.
+//   - math/rand (and math/rand/v2): globally seeded, schedule-dependent.
+//     All randomness must come from internal/rng's splittable,
+//     hash-based generators keyed on (seed, round, node).
+//   - time.Now: wall-clock must never influence algorithm output. Stats
+//     timers that only feed accounting are waived explicitly with
+//     //lint:allow walltime, which doubles as documentation that the
+//     value is presentation-only.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+)
+
+// EnginePackages is the set of import paths holding deterministic engine
+// code. Exported so the analyzer's tests can scope testdata packages in.
+var EnginePackages = map[string]bool{
+	"repro/internal/bsp":  true,
+	"repro/internal/mr":   true,
+	"repro/internal/core": true,
+	"repro/internal/mpx":  true,
+	"repro/internal/anf":  true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "forbid map iteration, math/rand, and unannotated time.Now in engine packages\n\n" +
+		"Engine packages must produce bit-for-bit identical outputs across worker and\n" +
+		"shard counts; map range order, ambient randomness, and wall-clock reads all\n" +
+		"break that silently.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !EnginePackages[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	idx := allow.NewIndex(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		checkImports(pass, idx, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkRange(pass, idx, n)
+			case *ast.CallExpr:
+				checkTimeNow(pass, idx, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkImports(pass *analysis.Pass, idx *allow.Index, f *ast.File) {
+	for _, spec := range f.Imports {
+		path := strings.Trim(spec.Path.Value, `"`)
+		if path != "math/rand" && path != "math/rand/v2" {
+			continue
+		}
+		if idx.Allowed(spec.Pos(), "rand") {
+			continue
+		}
+		pass.Reportf(spec.Pos(), "%s in engine package %s: ambient randomness is schedule-dependent; draw from internal/rng (seeded, splittable) instead", path, pass.Pkg.Path())
+	}
+}
+
+func checkRange(pass *analysis.Pass, idx *allow.Index, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if idx.Allowed(rng.Pos(), "mapiter") {
+		return
+	}
+	pass.Reportf(rng.Pos(), "range over map %s in engine package %s: iteration order is nondeterministic; iterate sorted keys, or waive an order-insensitive loop with //lint:allow mapiter", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), pass.Pkg.Path())
+}
+
+func checkTimeNow(pass *analysis.Pass, idx *allow.Index, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Now" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+		return
+	}
+	if idx.Allowed(call.Pos(), "walltime") {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.Now in engine package %s: wall-clock must not influence algorithm output; annotate accounting-only timers with //lint:allow walltime", pass.Pkg.Path())
+}
+
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

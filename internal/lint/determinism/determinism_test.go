@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer,
+		"repro/internal/bsp",    // engine package: all three rules fire
+		"example.com/nonengine", // same constructs, out of scope: silent
+	)
+}

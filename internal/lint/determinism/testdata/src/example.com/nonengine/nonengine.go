@@ -1,0 +1,20 @@
+// Package nonengine is analyzer testdata outside the engine set: the same
+// constructs draw no diagnostics here.
+package nonengine
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Draw() int { return rand.Intn(10) }
+
+func SumMap(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,8 @@
+package bsp
+
+import "time"
+
+// Test files are exempt: wall-clock in tests is fine.
+func stampInTest() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,59 @@
+// Package lint is reprolint: a go/analysis-style suite that machine-
+// enforces the repository's reproducibility and concurrency conventions.
+// Until this package existed those conventions were enforced by code
+// review and spot tests only; a single map range in a reducer or a plain
+// read of a CAS word silently voids guarantees the acceptance tests
+// depend on.
+//
+// The five analyzers, and the PR that introduced each convention:
+//
+//	determinism   engine packages (bsp, mr, core, mpx, anf) must not
+//	              range over maps, use math/rand, or read time.Now
+//	              un-annotated (bit-for-bit determinism, PRs 2-4).
+//	atomicfield   a struct field accessed via sync/atomic anywhere in a
+//	              package must never be accessed plainly outside tests
+//	              and annotated single-writer fast paths (claim words,
+//	              PRs 2-3).
+//	lockedsuffix  functions named *Locked may only be called with the
+//	              guarding mutex held (serve cache conventions, PR 1+5).
+//	ctxflow       no context.Background/TODO in internal non-test code;
+//	              exported superstep-looping free functions must accept
+//	              a context.Context (cancellation contract, PR 5).
+//	metricname    metric families must be reprod_-prefixed, constant,
+//	              registered exactly once, and covered by
+//	              requiredFamilies (observability surface, PR 6).
+//
+// Violations that are deliberate carry a //lint:allow annotation (see
+// internal/lint/allow for the grammar); the annotation forces the
+// justification to live next to the exception.
+//
+// The suite runs as a standard vettool:
+//
+//	go build -o bin/reprolint ./cmd/reprolint
+//	go vet -vettool=bin/reprolint ./...
+//
+// or directly via "bin/reprolint ./...", which re-execs go vet. The
+// framework underneath (internal/lint/analysis, .../unitchecker,
+// .../analysistest) is a stdlib-only re-implementation of the x/tools
+// go/analysis core, because this repository vendors nothing.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicfield"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/determinism"
+	"repro/internal/lint/lockedsuffix"
+	"repro/internal/lint/metricname"
+)
+
+// Analyzers returns the full reprolint suite in deterministic order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicfield.Analyzer,
+		ctxflow.Analyzer,
+		determinism.Analyzer,
+		lockedsuffix.Analyzer,
+		metricname.Analyzer,
+	}
+}

@@ -1,0 +1,290 @@
+// Package lockedsuffix defines an analyzer enforcing the *Locked naming
+// convention: a function whose name ends in "Locked" documents that its
+// caller must already hold the guarding mutex, so every call site must
+// either hold a lock or itself be a *Locked function.
+//
+// The tracking is syntactic and intra-function, in the spirit of
+// staticcheck's SA-family heuristics, not a full lockset analysis:
+//
+//   - x.Lock(), x.RLock(), and x.TryLock() acquire; x.Unlock() and
+//     x.RUnlock() release; "defer x.Unlock()" keeps the lock held for the
+//     rest of the function.
+//   - Statements are evaluated block-structured in source order. Lock
+//     effects inside a branch (if/for/switch/select arm) are visible
+//     inside that branch but do not release for the code after it: the
+//     early-return "if bad { mu.Unlock(); return err }" pattern must not
+//     unlock the happy path. Acquisitions do propagate out of branches
+//     (over-approximate by design — the analyzer hunts for call sites
+//     with NO lock on any path, the convention's actual failure mode).
+//   - For a method call recv.fooLocked(), the held lock must belong to
+//     the same receiver expression (s.mu.Lock() sanctions
+//     s.evictLRULocked()), or be a package-level mutex (ownership cannot
+//     be inferred syntactically). A plain fooLocked() call requires any
+//     lock to be held.
+//   - Function literals are independent scopes: a closure does not
+//     inherit its definer's locks, because it may run on another
+//     goroutine after they are released.
+//
+// Call sites where the exclusivity is established by other means carry
+// //lint:allow locked with a justification.
+package lockedsuffix
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedsuffix",
+	Doc: "*Locked functions may only be called with the corresponding mutex held\n\n" +
+		"Calls to functions named *Locked are checked against syntactic lock tracking\n" +
+		"in the enclosing function; unlocked call sites are reported.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	idx := allow.NewIndex(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkScope(pass, idx, n.Name.Name, n.Body)
+				}
+				return false // checkScope recurses into nested literals itself
+			case *ast.FuncLit:
+				// Top-level var initializer literals reach here.
+				checkScope(pass, idx, "", n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// scope evaluates one function body's lock state.
+type scope struct {
+	pass       *analysis.Pass
+	idx        *allow.Index
+	selfLocked bool
+	nested     []*ast.FuncLit
+}
+
+// checkScope analyzes one function body, then recurses into the function
+// literals it contains as fresh scopes.
+func checkScope(pass *analysis.Pass, idx *allow.Index, name string, body *ast.BlockStmt) {
+	sc := &scope{pass: pass, idx: idx, selfLocked: strings.HasSuffix(name, "Locked")}
+	held := make(map[string]int)
+	sc.evalStmt(body, held)
+	for _, lit := range sc.nested {
+		checkScope(pass, idx, "", lit.Body)
+	}
+}
+
+// evalStmt evaluates stmt against held, mutating it for effects at this
+// nesting level. Nested blocks run on copies; acquisitions merge back
+// (max), releases stay confined to their branch.
+func (sc *scope) evalStmt(stmt ast.Stmt, held map[string]int) {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			sc.evalStmt(st, held)
+		}
+	case *ast.IfStmt:
+		sc.evalStmt(s.Init, held)
+		sc.scan(s.Cond, held, false)
+		body := cloneHeld(held)
+		sc.evalStmt(s.Body, body)
+		mergeAcquisitions(held, body)
+		if s.Else != nil {
+			els := cloneHeld(held)
+			sc.evalStmt(s.Else, els)
+			mergeAcquisitions(held, els)
+		}
+	case *ast.ForStmt:
+		sc.evalStmt(s.Init, held)
+		if s.Cond != nil {
+			sc.scan(s.Cond, held, false)
+		}
+		body := cloneHeld(held)
+		sc.evalStmt(s.Body, body)
+		sc.evalStmt(s.Post, body)
+		mergeAcquisitions(held, body)
+	case *ast.RangeStmt:
+		sc.scan(s.X, held, false)
+		body := cloneHeld(held)
+		sc.evalStmt(s.Body, body)
+		mergeAcquisitions(held, body)
+	case *ast.SwitchStmt:
+		sc.evalStmt(s.Init, held)
+		if s.Tag != nil {
+			sc.scan(s.Tag, held, false)
+		}
+		sc.evalClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		sc.evalStmt(s.Init, held)
+		sc.evalStmt(s.Assign, held)
+		sc.evalClauses(s.Body, held)
+	case *ast.SelectStmt:
+		sc.evalClauses(s.Body, held)
+	case *ast.LabeledStmt:
+		sc.evalStmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// The deferred call runs at function exit: a deferred Unlock keeps
+		// the lock held for the rest of the scope, so releases are ignored;
+		// argument expressions evaluate now.
+		sc.scan(s.Call, held, true)
+	default:
+		// Leaf statements (expressions, assignments, go, return, decls):
+		// scan contained calls in source order.
+		sc.scan(stmt, held, false)
+	}
+}
+
+// evalClauses runs each case/comm clause of body on its own copy of held.
+func (sc *scope) evalClauses(body *ast.BlockStmt, held map[string]int) {
+	for _, st := range body.List {
+		arm := cloneHeld(held)
+		switch cl := st.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				sc.scan(e, arm, false)
+			}
+			for _, bs := range cl.Body {
+				sc.evalStmt(bs, arm)
+			}
+		case *ast.CommClause:
+			sc.evalStmt(cl.Comm, arm)
+			for _, bs := range cl.Body {
+				sc.evalStmt(bs, arm)
+			}
+		}
+		mergeAcquisitions(held, arm)
+	}
+}
+
+// scan walks a leaf node for lock-relevant calls, applying them to held in
+// source order. Function literals are collected, not descended into.
+func (sc *scope) scan(n ast.Node, held map[string]int, deferred bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			sc.nested = append(sc.nested, m)
+			return false
+		case *ast.CallExpr:
+			sc.applyCall(m, held, deferred)
+		}
+		return true
+	})
+}
+
+func (sc *scope) applyCall(call *ast.CallExpr, held map[string]int, deferred bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		switch name {
+		case "Lock", "RLock", "TryLock":
+			held[lockOwner(fun.X)]++
+			return
+		case "Unlock", "RUnlock":
+			if !deferred {
+				owner := lockOwner(fun.X)
+				if held[owner] > 0 {
+					held[owner]--
+					if held[owner] == 0 {
+						delete(held, owner)
+					}
+				}
+			}
+			return
+		}
+		if strings.HasSuffix(name, "Locked") && isOurCall(sc.pass, fun.Sel) {
+			sc.checkLockedCall(call, held, types.ExprString(fun), types.ExprString(fun.X), true)
+		}
+	case *ast.Ident:
+		if strings.HasSuffix(fun.Name, "Locked") && isOurCall(sc.pass, fun) {
+			sc.checkLockedCall(call, held, fun.Name, "", false)
+		}
+	}
+}
+
+func (sc *scope) checkLockedCall(call *ast.CallExpr, held map[string]int, callee, recv string, hasRecv bool) {
+	if sc.selfLocked {
+		return // the outermost non-Locked caller is the one checked
+	}
+	if satisfied(held, recv, hasRecv) {
+		return
+	}
+	if sc.idx.Allowed(call.Pos(), "locked") {
+		return
+	}
+	sc.pass.Reportf(call.Pos(), "%s called without holding a lock: *Locked functions require the caller to hold the guarding mutex on every path (or annotate with //lint:allow locked)", callee)
+}
+
+// satisfied reports whether the held lockset sanctions the *Locked call.
+func satisfied(held map[string]int, recv string, hasRecv bool) bool {
+	if len(held) == 0 {
+		return false
+	}
+	if !hasRecv {
+		return true // free function: any held lock passes
+	}
+	if held[recv] > 0 {
+		return true // a mutex reached through the same receiver expression
+	}
+	// A package-level mutex (owner "") may guard any state; ownership is
+	// not inferable syntactically, so it sanctions everything.
+	return held[""] > 0
+}
+
+// lockOwner renders the expression owning a mutex: for s.mu.Lock() the
+// owner is "s"; for a package-level traceMu.Lock() it is "" (package
+// scope), the wildcard owner.
+func lockOwner(x ast.Expr) string {
+	if sel, ok := x.(*ast.SelectorExpr); ok {
+		return types.ExprString(sel.X)
+	}
+	return ""
+}
+
+// isOurCall reports whether the callee is a function or method (not a
+// field of function type being invoked through a conversion, etc.).
+func isOurCall(pass *analysis.Pass, id *ast.Ident) bool {
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	_, isFunc := obj.(*types.Func)
+	return isFunc
+}
+
+func cloneHeld(held map[string]int) map[string]int {
+	out := make(map[string]int, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeAcquisitions folds a branch's lock state back into the outer state:
+// counts only ever grow (an acquisition inside a branch counts as held
+// afterwards; a release inside a branch does not unlock the code after it).
+func mergeAcquisitions(outer, branch map[string]int) {
+	for k, v := range branch {
+		if v > outer[k] {
+			outer[k] = v
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockedsuffix_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockedsuffix"
+)
+
+func TestLockedSuffix(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockedsuffix.Analyzer, "lockedtest")
+}

@@ -1,0 +1,98 @@
+// Package lockedtest is analyzer testdata for the *Locked calling
+// convention: held-lock call sites, unlocked call sites, early-return
+// unlock branches, closures, and receiver mismatches.
+package lockedtest
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (s *S) evictLocked() {}
+
+func (s *S) good() {
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+}
+
+func (s *S) goodDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evictLocked()
+}
+
+func (s *S) bad() {
+	s.evictLocked() // want `s\.evictLocked called without holding a lock`
+}
+
+func (s *S) badAfterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.evictLocked() // want `s\.evictLocked called without holding a lock`
+}
+
+// earlyReturn is the serve cache pattern: an error branch unlocks and
+// returns, which must NOT unlock the happy path below it.
+func (s *S) earlyReturn(fail bool) bool {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return false
+	}
+	s.evictLocked() // the early-return branch did not release for this path
+	s.mu.Unlock()
+	return true
+}
+
+// closures do not inherit the definer's locks: they may run on another
+// goroutine after the lock is released.
+func (s *S) closure() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.evictLocked() // want `s\.evictLocked called without holding a lock`
+	}()
+}
+
+// A *Locked function may call further *Locked functions freely: the
+// outermost non-Locked caller is the one checked.
+func (s *S) compactLocked() {
+	s.evictLocked()
+}
+
+// mismatch holds a's mutex but calls through b: not sanctioned.
+func mismatch(a, b *S) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.evictLocked() // want `b\.evictLocked called without holding a lock`
+}
+
+var pkgMu sync.Mutex
+
+func rotateLocked() {}
+
+func globalGood() {
+	pkgMu.Lock()
+	rotateLocked()
+	pkgMu.Unlock()
+}
+
+func globalBad() {
+	rotateLocked() // want `rotateLocked called without holding a lock`
+}
+
+// A package-level mutex sanctions method calls too: ownership of package
+// state cannot be inferred syntactically.
+func wildcard(s *S) {
+	pkgMu.Lock()
+	defer pkgMu.Unlock()
+	s.evictLocked()
+}
+
+// allowed documents exclusivity established by other means.
+func (s *S) allowed() {
+	s.evictLocked() //lint:allow locked sole owner during construction, not yet published
+}

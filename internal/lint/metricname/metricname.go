@@ -1,0 +1,225 @@
+// Package metricname defines an analyzer pinning the observability
+// surface: every metric family registered on an obs.Registry must
+//
+//   - be named with the reprod_ prefix (lower_snake, the README contract),
+//   - be a compile-time constant string (a computed name cannot be checked
+//     against the documented surface, so it is itself a violation),
+//   - be registered exactly once across the package AND its dependencies
+//     (duplicate registration panics the obs registry at runtime; the
+//     analyzer catches it at vet time), and
+//   - appear in the package's requiredFamilies list when one exists (the
+//     metrics_test.go exposition test and the CI smoke grep both key off
+//     that list, so a family missing from it is invisible to both), with
+//     no stale entries in the other direction.
+//
+// Families registered by dependencies travel as a package fact
+// (metricname.Families), so a package aggregating another package's
+// registry checks the union — the "registered exactly once" and coverage
+// rules are cross-package, not merely cross-file.
+//
+// Registrations inside _test.go files are fixtures, not surface, and are
+// ignored.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Families is the package fact listing the metric families a package
+// registers, exported for dependents' duplicate and coverage checks.
+type Families struct {
+	Names []string
+}
+
+// AFact marks Families as a fact type.
+func (*Families) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc: "metric families must be reprod_-prefixed, constant, unique, and listed in requiredFamilies\n\n" +
+		"Checks every obs.Registry registration in the package and its dependencies'\n" +
+		"exported facts against the documented metric surface.",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Families)(nil)},
+}
+
+// registrars are the obs.Registry methods that create a metric family;
+// each takes the family name as its first argument.
+var registrars = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"GaugeFunc":    true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"HistogramVec": true,
+}
+
+var namePattern = regexp.MustCompile(`^reprod_[a-z0-9_]+$`)
+
+type registration struct {
+	name string
+	pos  ast.Node
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var regs []registration
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !isRegistryCall(pass, call) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric family name must be a compile-time constant string so the documented surface can be checked against it")
+				return true
+			}
+			regs = append(regs, registration{name: constant.StringVal(tv.Value), pos: arg})
+			return true
+		})
+	}
+
+	// Families registered by dependencies, via their exported facts.
+	imported := make(map[string]string) // family -> registering package
+	for _, dep := range pass.Pkg.Imports() {
+		var fact Families
+		if pass.ImportPackageFact(dep, &fact) {
+			for _, name := range fact.Names {
+				imported[name] = dep.Path()
+			}
+		}
+	}
+
+	local := make(map[string]bool)
+	for _, r := range regs {
+		if !namePattern.MatchString(r.name) {
+			pass.Reportf(r.pos.Pos(), "metric family %q must carry the reprod_ prefix (lower_snake): the exposition, /stats, and the CI smoke grep all key off it", r.name)
+		}
+		if local[r.name] {
+			pass.Reportf(r.pos.Pos(), "metric family %q is registered more than once in this package; the obs registry panics on duplicate registration", r.name)
+		}
+		if dep, ok := imported[r.name]; ok {
+			pass.Reportf(r.pos.Pos(), "metric family %q is already registered by %s; families must be registered exactly once", r.name, dep)
+		}
+		local[r.name] = true
+	}
+
+	required, requiredPos := findRequiredFamilies(pass)
+	if required != nil {
+		for _, r := range regs {
+			if !required[r.name] && namePattern.MatchString(r.name) {
+				pass.Reportf(r.pos.Pos(), "metric family %q is missing from requiredFamilies: the exposition test and CI smoke grep will not guard it", r.name)
+			}
+		}
+		for name, dep := range imported {
+			if !required[name] {
+				pass.Reportf(requiredPos, "metric family %q (registered by %s) is missing from requiredFamilies", name, dep)
+			}
+		}
+		var staleSorted []string
+		for name := range required {
+			if _, dup := imported[name]; !local[name] && !dup {
+				staleSorted = append(staleSorted, name)
+			}
+		}
+		sort.Strings(staleSorted)
+		for _, name := range staleSorted {
+			pass.Reportf(requiredPos, "requiredFamilies lists %q but no such family is registered; remove the stale entry", name)
+		}
+	}
+
+	if len(local) > 0 {
+		names := make([]string, 0, len(local))
+		for name := range local {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		pass.ExportPackageFact(&Families{Names: names})
+	}
+	return nil, nil
+}
+
+// isRegistryCall reports whether call invokes a registrar method on a
+// *Registry from a package named obs.
+func isRegistryCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !registrars[sel.Sel.Name] {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	return tn.Name() == "Registry" && tn.Pkg() != nil && tn.Pkg().Name() == "obs"
+}
+
+// findRequiredFamilies locates a package-level var requiredFamilies
+// ([]string literal) and returns its entries and declaration position, or
+// nil if absent.
+func findRequiredFamilies(pass *analysis.Pass) (map[string]bool, token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != "requiredFamilies" || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out := make(map[string]bool, len(lit.Elts))
+					for _, elt := range lit.Elts {
+						tv, ok := pass.TypesInfo.Types[elt]
+						if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+							continue
+						}
+						out[constant.StringVal(tv.Value)] = true
+					}
+					return out, name.Pos()
+				}
+			}
+		}
+	}
+	return nil, token.NoPos
+}

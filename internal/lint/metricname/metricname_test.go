@@ -1,0 +1,15 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), metricname.Analyzer,
+		"mbasic", // prefix, constancy, duplicates, requiredFamilies coverage
+		"magg",   // cross-package duplicate + coverage via the Families fact
+	)
+}

@@ -1,0 +1,19 @@
+// Package magg is analyzer testdata for the cross-package rules: a family
+// registered by a dependency (carried by the Families fact) must not be
+// re-registered locally and must appear in requiredFamilies.
+package magg
+
+import (
+	"mdep"
+	"obs"
+)
+
+func register(reg *obs.Registry) {
+	mdep.Register(reg)
+	reg.Counter("reprod_shared_total") // want `metric family "reprod_shared_total" is already registered by mdep` `metric family "reprod_shared_total" is missing from requiredFamilies`
+	reg.Counter("reprod_local_total")
+}
+
+var requiredFamilies = []string{ // want `metric family "reprod_shared_total" \(registered by mdep\) is missing from requiredFamilies`
+	"reprod_local_total",
+}

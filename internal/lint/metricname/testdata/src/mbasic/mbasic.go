@@ -1,0 +1,23 @@
+// Package mbasic is analyzer testdata for the single-package metricname
+// rules: prefix, constancy, local duplicates, and requiredFamilies
+// coverage in both directions.
+package mbasic
+
+import "obs"
+
+func register(reg *obs.Registry) {
+	reg.Counter("reprod_requests_total")
+	reg.Counter("http_requests")          // want `metric family "http_requests" must carry the reprod_ prefix`
+	reg.Counter("reprod_dup_total")
+	reg.Counter("reprod_dup_total")       // want `metric family "reprod_dup_total" is registered more than once`
+	reg.Counter("reprod_uncovered_total") // want `metric family "reprod_uncovered_total" is missing from requiredFamilies`
+	reg.Counter(computed())               // want `metric family name must be a compile-time constant string`
+}
+
+func computed() string { return "reprod_runtime_total" }
+
+var requiredFamilies = []string{ // want `requiredFamilies lists "reprod_stale_total" but no such family is registered`
+	"reprod_requests_total",
+	"reprod_dup_total",
+	"reprod_stale_total",
+}

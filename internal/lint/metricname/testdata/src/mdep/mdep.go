@@ -1,0 +1,9 @@
+// Package mdep is analyzer testdata registering one family; the exported
+// Families fact carries it to importing packages.
+package mdep
+
+import "obs"
+
+func Register(reg *obs.Registry) {
+	reg.Counter("reprod_shared_total")
+}

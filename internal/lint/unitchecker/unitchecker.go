@@ -1,0 +1,297 @@
+// Package unitchecker makes a set of analyzers runnable under
+// "go vet -vettool=...". It is a stdlib-only re-implementation of the
+// (unpublished but stable) cmd/go vet tool protocol, the same one
+// golang.org/x/tools/go/analysis/unitchecker speaks:
+//
+//  1. go vet probes the tool with "-flags" and expects a JSON description
+//     of the flags it may pass through.
+//  2. go vet asks "-V=full" for a fingerprint line ("name version devel
+//     buildID=<hex>") that keys its result cache — we answer with a
+//     content hash of our own executable so rebuilding reprolint
+//     invalidates stale cached results.
+//  3. For every package in the dependency closure, go vet invokes the
+//     tool with the path to a generated vet.cfg describing the unit:
+//     source files, the import map, compiler export data for each
+//     dependency (PackageFile), fact files of already-analyzed
+//     dependencies (PackageVetx), and where to write this unit's facts
+//     (VetxOutput). Dependencies are marked VetxOnly: compute facts,
+//     report nothing.
+//
+// Diagnostics are printed to stderr as file:line:col: message and the
+// process exits 2, which go vet relays as a vet failure for the package.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Config mirrors the JSON structure of the vet.cfg files cmd/go writes
+// (cmd/go/internal/work.vetConfig). Unused fields are omitted.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built on this package. It never
+// returns.
+func Main(analyzers ...*analysis.Analyzer) {
+	analysis.RegisterFactTypes(analyzers)
+
+	fs := flag.NewFlagSet("reprolint", flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print flags in JSON for cmd/go")
+	version := fs.String("V", "", "print version and exit (cmd/go passes -V=full)")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		enabled[a.Name] = fs.Bool(a.Name, false, doc)
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printFlags:
+		emitFlagJSON(analyzers)
+		os.Exit(0)
+	case *version == "full":
+		fmt.Printf("reprolint version devel buildID=%s\n", selfHash())
+		os.Exit(0)
+	case *version != "":
+		fmt.Println("reprolint version devel")
+		os.Exit(0)
+	}
+
+	// If any analyzer flag was set explicitly and true, run only those;
+	// explicit =false excludes from the full set (vet semantics).
+	selected := analyzers
+	anyTrue := false
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) {
+		if on, ok := enabled[f.Name]; ok {
+			explicit[f.Name] = *on
+			if *on {
+				anyTrue = true
+			}
+		}
+	})
+	if len(explicit) > 0 {
+		var keep []*analysis.Analyzer
+		for _, a := range analyzers {
+			on, was := explicit[a.Name]
+			switch {
+			case anyTrue && was && on:
+				keep = append(keep, a)
+			case !anyTrue && !was:
+				keep = append(keep, a)
+			}
+		}
+		selected = keep
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "reprolint: expected a single vet.cfg argument; run via 'go vet -vettool=$(command -v reprolint) ./...' or 'reprolint ./...'\n")
+		os.Exit(1)
+	}
+	os.Exit(run(args[0], selected))
+}
+
+func run(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	facts := analysis.NewFactStore()
+
+	// Standard-library and other out-of-module units carry none of the
+	// repo's invariants and export no facts: write an empty vetx and
+	// return without even parsing them. This keeps a full ./... vet run
+	// fast — the ~60 stdlib units in the closure cost one exec each.
+	if cfg.ModulePath == "" {
+		return writeVetx(&cfg, facts)
+	}
+
+	// Import facts computed for dependencies in earlier invocations.
+	// Each vetx re-exports everything it saw, so direct imports suffice
+	// for transitive visibility.
+	for path, vetx := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // dependency vetted with no fact output; nothing to import
+		}
+		if err := facts.Decode(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "reprolint: facts of %s: %v\n", path, err)
+			return 1
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(&cfg, facts)
+			}
+			fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImp := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImp.Import(path)
+	})
+
+	var typeErrs []error
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(&cfg, facts)
+		}
+		for _, e := range typeErrs {
+			fmt.Fprintf(os.Stderr, "%v\n", e)
+		}
+		return 1
+	}
+
+	unit := &analysis.Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := analysis.Run(unit, analyzers, facts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+
+	code := writeVetx(&cfg, facts)
+	if code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func writeVetx(cfg *Config, facts *analysis.FactStore) int {
+	blob, err := facts.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func emitFlagJSON(analyzers []*analysis.Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	data, _ := json.Marshal(out)
+	fmt.Println(string(data))
+}
+
+// selfHash content-hashes the running executable so go vet's result cache
+// turns over whenever reprolint is rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "0000000000000000"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "0000000000000000"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "0000000000000000"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -17,6 +17,7 @@
 package mpx
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync/atomic"
@@ -67,6 +68,16 @@ func casMin(slot *uint64, val uint64) bool {
 // result in the shared Clustering form (owners, growth distances, centers,
 // radii, BSP stats).
 func Decompose(g *graph.Graph, opt Options) (*core.Clustering, error) {
+	//lint:allow background public non-cancellable wrapper; DecomposeContext is the cancellable form
+	return DecomposeContext(context.Background(), g, opt)
+}
+
+// DecomposeContext is Decompose with cooperative cancellation: the round
+// loop checks ctx at the superstep barriers (never inside a round) and
+// returns ctx.Err() within one round of a cancel. The checks never
+// influence the rounds an uncancelled run executes, so the decomposition
+// stays bit-for-bit deterministic in (seed, beta) across worker counts.
+func DecomposeContext(ctx context.Context, g *graph.Graph, opt Options) (*core.Clustering, error) {
 	if opt.Beta <= 0 {
 		return nil, errors.New("mpx: Beta must be positive")
 	}
@@ -136,6 +147,9 @@ func Decompose(g *graph.Graph, opt Options) (*core.Clustering, error) {
 	}
 	covered := 0
 	for t := 0; covered < n || e.FrontierLen() > 0; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Phase 1 (sequential, per round): activate this bucket's centers.
 		// A node starts its own cluster unless something reached it strictly
 		// earlier than its own start time.

@@ -298,7 +298,7 @@ func (e *Engine) Round(input []Pair, reduce Reducer) ([]Pair, error) {
 	if e.cfg.MG > 0 && int64(len(input)) > e.cfg.MG {
 		return nil, fmt.Errorf("%w: %d > %d", ErrGlobalMemory, len(input), e.cfg.MG)
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow walltime accounting-only: round timing never influences shard output
 	shards := e.shardsFor(len(input))
 	results := make([]shardResult, shards)
 

@@ -13,6 +13,7 @@
 package pbfs
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,15 @@ func Run(g *graph.Graph, src graph.NodeID, workers int) (*Result, error) {
 // direction pinned (bsp.DirAuto selects the hybrid heuristic; DirPush is
 // the pure top-down baseline the engine-mode benchmarks compare against).
 func RunDirection(g *graph.Graph, src graph.NodeID, workers int, dir bsp.Direction) (*Result, error) {
+	//lint:allow background public non-cancellable wrapper; RunDirectionContext is the cancellable form
+	return RunDirectionContext(context.Background(), g, src, workers, dir)
+}
+
+// RunDirectionContext is RunDirection with cooperative cancellation: the
+// depth loop checks ctx at the superstep barriers and returns ctx.Err()
+// within one round of a cancel. An uncancelled run executes exactly the
+// same rounds, so the distances stay deterministic across worker counts.
+func RunDirectionContext(ctx context.Context, g *graph.Graph, src graph.NodeID, workers int, dir bsp.Direction) (*Result, error) {
 	start := time.Now()
 	n := g.NumNodes()
 	if n == 0 {
@@ -71,6 +81,9 @@ func RunDirection(g *graph.Graph, src graph.NodeID, workers int, dir bsp.Directi
 	e.Seed(src)
 	ecc := int32(0)
 	for depth := int32(1); e.FrontierLen() > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d := depth
 		rs := e.Step(bsp.StepSpec{
 			Push: func(_ int, u, v graph.NodeID) bool {

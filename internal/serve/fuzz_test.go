@@ -1,0 +1,70 @@
+//go:build fuzz
+
+package serve
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzDecodePairsBinary drives arbitrary bytes through the RPB1 dense
+// batch-frame decoder — the zero-allocation hot path that untrusted HTTP
+// bodies reach before any artifact work. Contract under garbage: reject
+// with an error, never panic, and never return out-of-contract data
+// (negative ids, a count disagreeing with the header, a wrong max id).
+//
+// Guarded by the fuzz build tag; CI smokes it with
+// go test -tags fuzz -fuzz FuzzDecodePairsBinary -fuzztime 30s ./internal/serve.
+func FuzzDecodePairsBinary(f *testing.F) {
+	// A valid 3-pair frame, plus shallow corruptions of it.
+	frame := make([]byte, 8+8*3)
+	copy(frame, pairsMagic[:])
+	binary.LittleEndian.PutUint32(frame[4:], 3)
+	for i, p := range [][2]uint32{{0, 1}, {7, 2}, {3, 3}} {
+		binary.LittleEndian.PutUint32(frame[8+8*i:], p[0])
+		binary.LittleEndian.PutUint32(frame[8+8*i+4:], p[1])
+	}
+	f.Add(frame)
+	f.Add(frame[:11])   // truncated mid-header
+	f.Add([]byte{})     // empty body
+	f.Add([]byte("RPB1")) // magic only
+
+	huge := make([]byte, 8)
+	copy(huge, pairsMagic[:])
+	binary.LittleEndian.PutUint32(huge[4:], 1<<31-1) // count overflow probe
+	f.Add(huge)
+
+	neg := make([]byte, 8+8)
+	copy(neg, pairsMagic[:])
+	binary.LittleEndian.PutUint32(neg[4:], 1)
+	binary.LittleEndian.PutUint32(neg[8:], 0xffffffff) // negative NodeID
+	f.Add(neg)
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		pairs, maxID, err := decodePairsBinary(nil, body)
+		if err != nil {
+			return // rejected cleanly
+		}
+		count := int(binary.LittleEndian.Uint32(body[4:8]))
+		if len(pairs) != count {
+			t.Fatalf("decoded %d pairs, header says %d", len(pairs), count)
+		}
+		var want graph.NodeID
+		for _, p := range pairs {
+			if p[0] < 0 || p[1] < 0 {
+				t.Fatalf("accepted negative pair %v", p)
+			}
+			if p[0] > want {
+				want = p[0]
+			}
+			if p[1] > want {
+				want = p[1]
+			}
+		}
+		if maxID != want {
+			t.Fatalf("maxID %d, recomputed %d", maxID, want)
+		}
+	})
+}

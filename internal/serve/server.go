@@ -537,6 +537,7 @@ func (s *Server) artifact(ctx context.Context, key Key, build func(ctx context.C
 		}
 		tr := s.startTrace(key)
 		tr.setWaiters(1)
+		//lint:allow background deliberate detached root: builds outlive the requesting waiter and are cancelled by the server (PR 5 design)
 		bctx, cancel := context.WithCancel(withTrace(context.Background(), tr))
 		e = &entry{ready: make(chan struct{}), cancel: cancel, waiters: 1, trace: tr}
 		e.lastUsed.Store(s.clock.Add(1))
