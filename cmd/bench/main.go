@@ -1,5 +1,5 @@
 // Command bench runs the serving tier's fixed perf trajectory and writes
-// the result as JSON (BENCH_7.json in-repo). It exercises the hot paths
+// the result as JSON (BENCH_10.json in-repo). It exercises the hot paths
 // the serving PRs instrument — a cold oracle build, the /distance
 // point-query path over HTTP, the batch-first /distance-batch path, and
 // the MR diameter pipeline — and reports wall-clock alongside the
@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	bench [-o BENCH_7.json] [-queries 2000] [-batches 50] [-workers 0]
+//	bench [-o BENCH_10.json] [-queries 2000] [-batches 50] [-workers 0] [-max-batch-allocs -1]
+//
+// -max-batch-allocs, when non-negative, turns the measured batch-kernel
+// allocs/pair into a gate: the run exits 1 if the measurement exceeds the
+// bound. CI passes 0, making the zero-allocation batch contract a third
+// enforcement layer alongside the hotalloc analyzer (static) and the
+// ZeroAlloc regression tests (per-package runtime).
 //
 // The workload is fixed (graphs, tau, seeds) so successive runs are
 // comparable; only the machine varies, which is why the environment block
@@ -36,7 +42,7 @@ import (
 	"repro/internal/serve"
 )
 
-// Report is the BENCH_7.json schema. It keeps every BENCH_6 section
+// Report is the BENCH_10.json schema. It keeps every BENCH_6 section
 // (env, oracle_build, serve_distance, mr_diameter) and adds the
 // distance_batch section introduced with the batch-first query path.
 type Report struct {
@@ -109,10 +115,12 @@ type MRBench struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output file (- for stdout)")
+	out := flag.String("o", "BENCH_10.json", "output file (- for stdout)")
 	queries := flag.Int("queries", 2000, "point queries for the latency distribution")
 	batches := flag.Int("batches", 50, "warm /distance-batch requests for the batch distribution")
 	workers := flag.Int("workers", 0, "build workers (0 = GOMAXPROCS)")
+	maxBatchAllocs := flag.Float64("max-batch-allocs", -1,
+		"fail (exit 1) if the batch kernel exceeds this many allocs/pair; negative disables the gate")
 	flag.Parse()
 
 	rep := Report{Env: Env{
@@ -249,13 +257,18 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
-		return
+	} else {
+		fail(os.WriteFile(*out, enc, 0o644))
+		fmt.Printf("wrote %s: build %.0fms, p50 %.0fµs, p99 %.0fµs, batch %.2gM pairs/s (%.0fx point, %.3g allocs/pair), MR %d rounds / %d pairs\n",
+			*out, rep.Oracle.WallMillis, rep.Serve.P50Micros, rep.Serve.P99Micros,
+			rep.Batch.PairsPerSec/1e6, rep.Batch.SpeedupVsPoint, rep.Batch.AllocsPerPair,
+			rep.MR.Rounds, rep.MR.PairsShuffled)
 	}
-	fail(os.WriteFile(*out, enc, 0o644))
-	fmt.Printf("wrote %s: build %.0fms, p50 %.0fµs, p99 %.0fµs, batch %.2gM pairs/s (%.0fx point, %.3g allocs/pair), MR %d rounds / %d pairs\n",
-		*out, rep.Oracle.WallMillis, rep.Serve.P50Micros, rep.Serve.P99Micros,
-		rep.Batch.PairsPerSec/1e6, rep.Batch.SpeedupVsPoint, rep.Batch.AllocsPerPair,
-		rep.MR.Rounds, rep.MR.PairsShuffled)
+	if *maxBatchAllocs >= 0 && rep.Batch.AllocsPerPair > *maxBatchAllocs {
+		fmt.Fprintf(os.Stderr, "bench: batch kernel measured %g allocs/pair, above the -max-batch-allocs bound %g\n",
+			rep.Batch.AllocsPerPair, *maxBatchAllocs)
+		os.Exit(1)
+	}
 }
 
 // encodePairsFrame builds the dense binary request frame /distance-batch

@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+func TestClassifyExit(t *testing.T) {
+	const (
+		diags = "# repro/internal/serve\n" +
+			"internal/serve/server.go:41:2: ranges over map m in a deterministic reducer\n"
+		internalErr = "reprolint: facts of repro/internal/core: gob: unknown type\n"
+		vetErr      = "vet: internal/core/oracle.go:12:5: undefined: frobnicate\n"
+		panicOut    = "panic: runtime error: index out of range [3]\n\ngoroutine 1 [running]:\n"
+	)
+	cases := []struct {
+		name       string
+		output     string
+		underlying int
+		want       int
+	}{
+		{"clean", "", 0, 0},
+		{"clean ignores noise", "# some pkg\n", 0, 0},
+		{"findings", diags, 2, 2},
+		{"findings with vet exit 1", diags, 1, 2},
+		{"internal error", internalErr, 1, 1},
+		{"typecheck failure", vetErr, 1, 1},
+		{"panic", panicOut, 2, 1},
+		{"error dominates findings", diags + internalErr, 2, 1},
+		{"unclassifiable failure", "something unexpected\n", 3, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := classifyExit(tc.output, tc.underlying); got != tc.want {
+				t.Errorf("classifyExit(%q, %d) = %d, want %d",
+					tc.output, tc.underlying, got, tc.want)
+			}
+		})
+	}
+}

@@ -30,14 +30,16 @@ func (p *Pool) Workers() int { return p.workers }
 // Run executes fn(worker) on every worker (0 = the caller) and waits.
 func (p *Pool) Run(fn func(worker int)) {
 	if p.workers == 1 {
-		fn(0)
+		fn(0) //lint:allow alloc dynamic dispatch only: what fn does is the caller's contract; hot callers pass pre-built closures that are themselves analyzed
 		return
 	}
 	if p.work == nil {
+		//lint:allow alloc lazy spin-up: the first Run pays for the channels and goroutines once; every later Run only sends on them
 		p.work = make([]chan func(worker int), p.workers-1)
 		for i := range p.work {
-			ch := make(chan func(worker int))
+			ch := make(chan func(worker int)) //lint:allow alloc lazy spin-up, first Run only
 			p.work[i] = ch
+			//lint:allow alloc lazy spin-up, first Run only
 			go func(w int, ch chan func(worker int)) {
 				for f := range ch {
 					f(w)
@@ -50,7 +52,7 @@ func (p *Pool) Run(fn func(worker int)) {
 	for _, ch := range p.work {
 		ch <- fn
 	}
-	fn(0)
+	fn(0) //lint:allow alloc dynamic dispatch only: what fn does is the caller's contract; hot callers pass pre-built closures that are themselves analyzed
 	p.wg.Wait()
 }
 

@@ -123,6 +123,19 @@ type WeightedEngine struct {
 	offersW  []int64
 	upd      []NodeID // concatenated claim buffers of the last phase
 
+	// relaxPhase parameter slots plus the one worker closure, built at
+	// construction: the hot relaxation loop passes its arguments through
+	// these fields instead of capturing them, so a phase allocates no
+	// closures (the hotalloc contract; previously two escaped per phase).
+	phaseNodes  []NodeID
+	phaseWords  []uint64
+	phaseXadj   []int64
+	phaseAdj    []NodeID
+	phaseWs     []int32
+	phaseN      int
+	phaseChunk  int
+	chunkWorker func(w int)
+
 	stats Stats
 }
 
@@ -163,6 +176,19 @@ func NewWeightedEngine(t WeightedTopology, workers int, delta int64) *WeightedEn
 		updBits: NewBitmap(n),
 		updBufs: make([][]NodeID, w),
 		offersW: make([]int64, w),
+	}
+	e.chunkWorker = func(w int) {
+		lo := w * e.phaseChunk
+		if lo >= e.phaseN {
+			e.updBufs[w] = e.updBufs[w][:0]
+			e.offersW[w] = 0
+			return
+		}
+		hi := lo + e.phaseChunk
+		if hi > e.phaseN {
+			hi = e.phaseN
+		}
+		e.relaxChunk(w, lo, hi)
 	}
 	e.splitEdges()
 	//lint:allow plainatomic construction: pool workers have no work yet
@@ -353,34 +379,62 @@ func (e *WeightedEngine) addSource(u, owner NodeID) {
 	}
 }
 
-// forChunks runs body over worker chunks of [0, n), clearing the scratch of
-// idle workers; small n runs inline.
-func (e *WeightedEngine) forChunks(n int, body func(w, lo, hi int)) {
-	clearFrom := func(w int) {
-		for ; w < e.workers; w++ {
-			e.updBufs[w] = e.updBufs[w][:0]
-			e.offersW[w] = 0
+// clearScratchFrom resets the claim scratch of workers [w, workers) that a
+// sequential or short phase left untouched.
+func (e *WeightedEngine) clearScratchFrom(w int) {
+	for ; w < e.workers; w++ {
+		e.updBufs[w] = e.updBufs[w][:0]
+		e.offersW[w] = 0
+	}
+}
+
+// relaxChunk relaxes nodes [lo, hi) of the current phase (parameters in
+// the phase* fields) into worker w's claim buffer. It is the relaxation
+// inner loop — a transitive callee of the hot relaxPhase, kept free of
+// closures and allocation.
+func (e *WeightedEngine) relaxChunk(w, lo, hi int) {
+	nodes, words := e.phaseNodes, e.phaseWords
+	xadj, adj, ws := e.phaseXadj, e.phaseAdj, e.phaseWs
+	slot, shift, mask, distMax, updBits := e.slot, e.shift, e.ownerMask, e.distMax, e.updBits
+	seq := e.workers == 1
+	buf := e.updBufs[w][:0]
+	var scanned int64
+	for i := lo; i < hi; i++ {
+		u := nodes[i]
+		var word uint64
+		if words != nil {
+			word = words[i]
+		} else {
+			word = slot[u] //lint:allow plainatomic nil words: heavy phase of a settled bucket, slots stable (see doc)
+		}
+		du := int64(word >> shift)
+		base := word & mask
+		adjU := adj[xadj[u]:xadj[u+1]]
+		wsU := ws[xadj[u]:xadj[u+1]:xadj[u+1]]
+		scanned += int64(len(adjU))
+		for a, v := range adjU {
+			nd := du + int64(wsU[a])
+			if nd > distMax {
+				e.overflow.Store(true)
+				continue
+			}
+			nw := uint64(nd)<<shift | base
+			if seq {
+				// Single worker: same min-reduction, no atomics.
+				if nw < slot[v] { //lint:allow plainatomic workers==1 fast path
+					slot[v] = nw //lint:allow plainatomic workers==1 fast path
+					if !updBits.Get(v) {
+						updBits.Set(v)
+						buf = append(buf, v) //lint:allow alloc pooled claim buffer: grows to its high-water mark, then reuses
+					}
+				}
+			} else if casLower(&slot[v], nw) && updBits.SetAtomic(v) {
+				buf = append(buf, v) //lint:allow alloc pooled claim buffer: grows to its high-water mark, then reuses
+			}
 		}
 	}
-	if n < seqThreshold || e.workers == 1 {
-		body(0, 0, n)
-		clearFrom(1)
-		return
-	}
-	chunk := (n + e.workers - 1) / e.workers
-	e.pool.Run(func(w int) {
-		lo := w * chunk
-		if lo >= n {
-			e.updBufs[w] = e.updBufs[w][:0]
-			e.offersW[w] = 0
-			return
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		body(w, lo, hi)
-	})
+	e.updBufs[w] = buf
+	e.offersW[w] = scanned
 }
 
 // relaxPhase offers dist+w along the light or heavy edges of nodes, whose
@@ -388,56 +442,29 @@ func (e *WeightedEngine) forChunks(n int, body func(w, lo, hi int)) {
 // live slots — only safe when they cannot change, i.e. the heavy phase of a
 // settled bucket). It returns the per-worker claim buffers concatenated
 // (each node lowered at least once, exactly one entry) and the offer count.
+// The arguments travel through the phase* fields and the pre-built
+// chunkWorker closure rather than a per-call capture.
+//
+//lint:hotpath
 func (e *WeightedEngine) relaxPhase(nodes []NodeID, words []uint64, heavy bool) (upd []NodeID, offers int64) {
-	xadj, adj, ws := e.lx, e.ladj, e.lw
+	e.phaseXadj, e.phaseAdj, e.phaseWs = e.lx, e.ladj, e.lw
 	if heavy {
-		xadj, adj, ws = e.hx, e.hadj, e.hw
+		e.phaseXadj, e.phaseAdj, e.phaseWs = e.hx, e.hadj, e.hw
 	}
-	slot, shift, mask, distMax, updBits := e.slot, e.shift, e.ownerMask, e.distMax, e.updBits
-	seq := e.workers == 1
-	e.forChunks(len(nodes), func(w, lo, hi int) {
-		buf := e.updBufs[w][:0]
-		var scanned int64
-		for i := lo; i < hi; i++ {
-			u := nodes[i]
-			var word uint64
-			if words != nil {
-				word = words[i]
-			} else {
-				word = slot[u] //lint:allow plainatomic nil words: heavy phase of a settled bucket, slots stable (see doc)
-			}
-			du := int64(word >> shift)
-			base := word & mask
-			adjU := adj[xadj[u]:xadj[u+1]]
-			wsU := ws[xadj[u]:xadj[u+1]:xadj[u+1]]
-			scanned += int64(len(adjU))
-			for a, v := range adjU {
-				nd := du + int64(wsU[a])
-				if nd > distMax {
-					e.overflow.Store(true)
-					continue
-				}
-				nw := uint64(nd)<<shift | base
-				if seq {
-					// Single worker: same min-reduction, no atomics.
-					if nw < slot[v] { //lint:allow plainatomic workers==1 fast path
-						slot[v] = nw //lint:allow plainatomic workers==1 fast path
-						if !updBits.Get(v) {
-							updBits.Set(v)
-							buf = append(buf, v)
-						}
-					}
-				} else if casLower(&slot[v], nw) && updBits.SetAtomic(v) {
-					buf = append(buf, v)
-				}
-			}
-		}
-		e.updBufs[w] = buf
-		e.offersW[w] = scanned
-	})
+	e.phaseNodes, e.phaseWords = nodes, words
+	n := len(nodes)
+	if n < seqThreshold || e.workers == 1 {
+		e.relaxChunk(0, 0, n)
+		e.clearScratchFrom(1)
+	} else {
+		e.phaseN = n
+		e.phaseChunk = (n + e.workers - 1) / e.workers
+		e.pool.Run(e.chunkWorker)
+	}
+	e.phaseNodes, e.phaseWords = nil, nil
 	upd = e.upd[:0]
 	for w := 0; w < e.workers; w++ {
-		upd = append(upd, e.updBufs[w]...)
+		upd = append(upd, e.updBufs[w]...) //lint:allow alloc pooled concat buffer: grows to the high-water frontier, then reuses
 		offers += e.offersW[w]
 	}
 	e.upd = upd

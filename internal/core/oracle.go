@@ -285,6 +285,8 @@ func (o *Oracle) Query(u, v graph.NodeID) int64 {
 // oracle's batch hot path: a single pass over the flat tables with zero
 // allocation, so callers can pool and reuse both slices across requests.
 // Every id must already be validated in [0, n); out must have len(pairs).
+//
+//lint:hotpath
 func (o *Oracle) QueryBatchInto(pairs [][2]graph.NodeID, out []int64) {
 	_ = out[:len(pairs)] // one bounds check, not one per pair
 	owner, dist, apsp, k := o.owner, o.dist, o.apsp, o.k

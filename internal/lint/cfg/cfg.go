@@ -1,0 +1,601 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast for
+// the dataflow-capable reprolint analyzers (hotalloc, goleak, lockorder).
+//
+// The graph is deliberately lightweight — basic blocks of leaf statements
+// and decomposed conditions, connected by branch, loop, defer, and
+// panic-aware edges — but it is a real CFG:
+//
+//   - if/for/range/switch/type-switch/select decompose into header and
+//     arm blocks; break, continue, goto, fallthrough, and labels connect
+//     to their targets.
+//   - return edges to Graph.Exit; panic(), runtime.Goexit, os.Exit,
+//     log.Fatal*, and the testing FailNow family edge to Graph.Panic (the
+//     abnormal-exit sink), so "reaches a clean return" and "terminates at
+//     all" are distinct questions.
+//   - a for with no condition has no exit edge unless its body breaks,
+//     returns, or jumps out; range always has an exit edge (a channel
+//     range exits when the channel is closed — whether anyone closes it
+//     is the analyzer's question, not the CFG's).
+//   - defer bodies are not inlined into the block structure; DeferStmt
+//     nodes stay in their blocks and the deferred calls are additionally
+//     collected in Graph.Defers, since they run at every function exit.
+//
+// On top of the block graph the package offers the two dataflow queries
+// the analyzers share: forward reachability (Reaches) and an all-paths
+// "must hit" analysis (AllPathsHitBefore / AllExitPathsHit) used for
+// WaitGroup Add/Done pairing and allocation cold-path pruning.
+//
+// The builder is purely syntactic — no *types.Info — so the same graphs
+// serve the type-checked unitchecker passes and lightweight whole-repo
+// sweeps alike.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// A Block is a basic block: leaf statements and decomposed condition
+// expressions in evaluation order, with successor edges.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+
+	preds []*Block
+}
+
+// A Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the clean-termination sink: returns and the implicit fall
+	// off the end of the body edge here.
+	Exit *Block
+	// Panic is the abnormal-exit sink: panic calls and the no-return
+	// family (os.Exit, log.Fatal*, runtime.Goexit, testing's FailNow and
+	// friends) edge here instead.
+	Panic  *Block
+	Blocks []*Block
+	// Defers collects every deferred call in source order; they run at
+	// every exit of the function.
+	Defers []*ast.CallExpr
+
+	blockOf map[ast.Node]*Block
+	// loops maps each ForStmt/RangeStmt to its header and after blocks,
+	// for loop-escape queries.
+	loops map[ast.Stmt]*Loop
+}
+
+// A Loop records the header and after blocks of one for/range statement.
+type Loop struct {
+	Stmt  ast.Stmt
+	Head  *Block
+	After *Block
+}
+
+// New builds the CFG of body. A nil body yields a graph whose entry edges
+// straight to exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		blockOf: make(map[ast.Node]*Block),
+		loops:   make(map[ast.Stmt]*Loop),
+	}
+	b := &builder{g: g, labels: make(map[string]*labelBlocks)}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	g.Panic = b.newBlock()
+	b.cur = g.Entry
+	if body != nil {
+		b.stmt(body)
+	}
+	// Implicit return at the end of the body.
+	if b.cur != nil {
+		b.edge(b.cur, g.Exit)
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.preds = append(s.preds, blk)
+		}
+	}
+	return g
+}
+
+// BlockOf returns the block holding the given leaf statement or decomposed
+// condition node, or nil if the node was never placed (e.g. a statement
+// nested inside a FuncLit).
+func (g *Graph) BlockOf(n ast.Node) *Block { return g.blockOf[n] }
+
+// Loops returns the loop records of every for/range statement in the body
+// (excluding loops inside nested function literals).
+func (g *Graph) Loops() []*Loop {
+	out := make([]*Loop, 0, len(g.loops))
+	// Deterministic order: by header block index.
+	for _, l := range g.loops {
+		out = append(out, l)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Head.Index > out[j].Head.Index; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Reaches reports whether a block satisfying want is reachable from `from`
+// (inclusive) along successor edges.
+func (g *Graph) Reaches(from *Block, want func(*Block) bool) bool {
+	if from == nil {
+		return false
+	}
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[b.Index] {
+			continue
+		}
+		seen[b.Index] = true
+		if want(b) {
+			return true
+		}
+		stack = append(stack, b.Succs...)
+	}
+	return false
+}
+
+// ExitReachable reports whether any clean return (Graph.Exit) is reachable
+// from the entry.
+func (g *Graph) ExitReachable() bool {
+	return g.Reaches(g.Entry, func(b *Block) bool { return b == g.Exit })
+}
+
+// Terminates reports whether any exit — clean or panicking — is reachable
+// from the entry.
+func (g *Graph) Terminates() bool {
+	return g.Reaches(g.Entry, func(b *Block) bool { return b == g.Exit || b == g.Panic })
+}
+
+// AllPathsHitBefore reports whether every path from the entry to target (a
+// leaf node placed in some block) passes a node satisfying hit strictly
+// before reaching target. It is a forward must-analysis: block entry state
+// is the AND over predecessors, and unreachable code is vacuously true.
+// Returns false when target was never placed.
+func (g *Graph) AllPathsHitBefore(target ast.Node, hit func(ast.Node) bool) bool {
+	tb := g.blockOf[target]
+	if tb == nil {
+		return false
+	}
+	in := g.mustStates(hit)
+	state := in[tb.Index]
+	for _, n := range tb.Nodes {
+		if n == target {
+			return state
+		}
+		if hit(n) {
+			state = true
+		}
+	}
+	return state
+}
+
+// AllExitPathsHit reports whether every path from the entry to the clean
+// exit passes a node satisfying hit. Paths ending in the panic sink are
+// not required to hit. Vacuously true when the exit is unreachable.
+func (g *Graph) AllExitPathsHit(hit func(ast.Node) bool) bool {
+	in := g.mustStates(hit)
+	return in[g.Exit.Index]
+}
+
+// mustStates runs the forward "all paths hit" fixpoint, returning the
+// at-block-entry state for every block.
+func (g *Graph) mustStates(hit func(ast.Node) bool) []bool {
+	n := len(g.Blocks)
+	in := make([]bool, n)
+	out := make([]bool, n)
+	gen := make([]bool, n)
+	for _, b := range g.Blocks {
+		for _, nd := range b.Nodes {
+			if hit(nd) {
+				gen[b.Index] = true
+				break
+			}
+		}
+		// Top element: everything starts "hit on all paths" except the
+		// entry, and the meet narrows it down.
+		in[b.Index] = b != g.Entry
+		out[b.Index] = in[b.Index] || gen[b.Index]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if b == g.Entry {
+				continue
+			}
+			st := true
+			if len(b.preds) == 0 {
+				// Unreachable: stays vacuously true.
+				st = in[b.Index]
+			}
+			for _, p := range b.preds {
+				if !out[p.Index] {
+					st = false
+					break
+				}
+			}
+			if st != in[b.Index] {
+				in[b.Index] = st
+				changed = true
+			}
+			o := in[b.Index] || gen[b.Index]
+			if o != out[b.Index] {
+				out[b.Index] = o
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// builder threads the construction state.
+type builder struct {
+	g   *Graph
+	cur *Block // nil while the walker is in unreachable code
+
+	// Break/continue target stack. Entries carry the statement's label
+	// ("" for unlabeled) so labeled branches find the right loop.
+	scopes []brScope
+	labels map[string]*labelBlocks
+}
+
+type brScope struct {
+	label string
+	brk   *Block
+	cont  *Block // nil for switch/select scopes
+}
+
+type labelBlocks struct {
+	target *Block // goto target (start of the labeled statement)
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// place appends a leaf node to the current block, creating a detached
+// block when walking unreachable code so later queries still resolve.
+func (b *builder) place(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock() // unreachable continuation
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+	b.g.blockOf[n] = b.cur
+}
+
+// stmt walks one statement, updating the current block.
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.place(s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeled(s)
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		if s.Tag != nil {
+			b.place(s.Tag)
+		}
+		b.switchBody(s.Body, hasDefaultClause(s.Body), "")
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.place(s.Assign)
+		b.switchBody(s.Body, hasDefaultClause(s.Body), "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.ReturnStmt:
+		b.place(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.place(s)
+		b.branch(s)
+		b.cur = nil
+	case *ast.DeferStmt:
+		b.place(s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+	case *ast.ExprStmt:
+		b.place(s)
+		if noReturnCall(s.X) {
+			b.edge(b.cur, b.g.Panic)
+			b.cur = nil
+		}
+	default:
+		// Leaf statements: assignments, declarations, sends, go, inc/dec.
+		b.place(s)
+	}
+}
+
+// forStmt builds: cur -> head -(body)-> ... -> head, head -> after only
+// when a condition exists.
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	b.stmt(s.Init)
+	head := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	if s.Cond != nil {
+		b.place(s.Cond)
+		b.edge(head, after)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.g.loops[s] = &Loop{Stmt: s, Head: head, After: after}
+	b.pushScope(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.stmt(s.Post)
+	b.edge(b.cur, head)
+	b.popScope()
+	b.cur = after
+}
+
+// rangeStmt always has a head -> after exit edge: every range form
+// (slice, map, int, func, channel) can run out of elements.
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.place(s.X)
+	head := b.newBlock()
+	after := b.newBlock()
+	b.edge(b.cur, head)
+	b.edge(head, after)
+	body := b.newBlock()
+	b.edge(head, body)
+	b.g.loops[s] = &Loop{Stmt: s, Head: head, After: after}
+	b.pushScope(label, after, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.popScope()
+	b.cur = after
+}
+
+func (b *builder) labeled(s *ast.LabeledStmt) {
+	start := b.newBlock()
+	b.edge(b.cur, start)
+	b.cur = start
+	lb := b.labels[s.Label.Name]
+	if lb == nil {
+		lb = &labelBlocks{}
+		b.labels[s.Label.Name] = lb
+	}
+	if lb.target != nil {
+		// A goto already minted a placeholder target: bridge it here.
+		b.edge(lb.target, start)
+	} else {
+		lb.target = start
+	}
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.stmt(inner.Init)
+		if inner.Tag != nil {
+			b.place(inner.Tag)
+		}
+		b.switchBody(inner.Body, hasDefaultClause(inner.Body), s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.stmt(inner.Init)
+		b.place(inner.Assign)
+		b.switchBody(inner.Body, hasDefaultClause(inner.Body), s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+// switchBody wires one case clause per arm; fallthrough edges to the next
+// clause's body block.
+func (b *builder) switchBody(body *ast.BlockStmt, hasDefault bool, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	after := b.newBlock()
+	b.pushScope(label, after, nil)
+	arms := make([]*Block, len(body.List))
+	for i := range body.List {
+		arms[i] = b.newBlock()
+		b.edge(head, arms[i])
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, st := range body.List {
+		cl, ok := st.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		b.cur = arms[i]
+		for _, e := range cl.List {
+			b.place(e)
+		}
+		for _, bs := range cl.Body {
+			if br, isBr := bs.(*ast.BranchStmt); isBr && br.Tok.String() == "fallthrough" {
+				if i+1 < len(arms) {
+					b.edge(b.cur, arms[i+1])
+				}
+				b.cur = nil
+				continue
+			}
+			b.stmt(bs)
+		}
+		b.edge(b.cur, after)
+	}
+	b.popScope()
+	b.cur = after
+}
+
+// selectStmt: one arm per comm clause. A select with no arms blocks
+// forever (no successors); one with arms branches to each. A default
+// clause is just another arm — select never blocks structurally when the
+// arms exist, and whether a comm arm ever fires is the analyzers'
+// liveness question, not the CFG's.
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+	}
+	after := b.newBlock()
+	b.pushScope(label, after, nil)
+	for _, st := range s.Body.List {
+		cl, ok := st.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		arm := b.newBlock()
+		b.edge(head, arm)
+		b.cur = arm
+		b.stmt(cl.Comm)
+		for _, bs := range cl.Body {
+			b.stmt(bs)
+		}
+		b.edge(b.cur, after)
+	}
+	b.popScope()
+	if len(s.Body.List) == 0 {
+		// select {} blocks forever: no edge out of head.
+		b.cur = nil
+		_ = after
+		return
+	}
+	b.cur = after
+}
+
+func (b *builder) pushScope(label string, brk, cont *Block) {
+	b.scopes = append(b.scopes, brScope{label: label, brk: brk, cont: cont})
+}
+
+func (b *builder) popScope() { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if label == "" || sc.label == label {
+				b.edge(b.cur, sc.brk)
+				return
+			}
+		}
+	case "continue":
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.cont != nil && (label == "" || sc.label == label) {
+				b.edge(b.cur, sc.cont)
+				return
+			}
+		}
+	case "goto":
+		lb := b.labels[label]
+		if lb == nil {
+			lb = &labelBlocks{}
+			b.labels[label] = lb
+		}
+		if lb.target == nil {
+			// Forward goto: mint a placeholder the label will bridge.
+			lb.target = b.newBlock()
+		}
+		b.edge(b.cur, lb.target)
+	}
+	// fallthrough is handled by switchBody.
+}
+
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, st := range body.List {
+		if cl, ok := st.(*ast.CaseClause); ok && cl.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// noReturnCall reports whether expr is a call that never returns: the
+// panic builtin, os.Exit, runtime.Goexit, log.Fatal*, or the testing
+// FailNow family (Fatal/Fatalf/FailNow/Skip/Skipf/SkipNow — which call
+// runtime.Goexit on the calling goroutine).
+func noReturnCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if x, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case x.Name == "os" && name == "Exit":
+				return true
+			case x.Name == "runtime" && name == "Goexit":
+				return true
+			case x.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln"):
+				return true
+			}
+		}
+		switch name {
+		case "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,351 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its CFG.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\nsource:\n%s", err, src)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return New(fn.Body)
+}
+
+func TestStraightLineReachesExit(t *testing.T) {
+	g := build(t, "x := 1\n_ = x")
+	if !g.ExitReachable() {
+		t.Fatal("straight-line body must reach exit")
+	}
+	if !g.Terminates() {
+		t.Fatal("straight-line body must terminate")
+	}
+}
+
+func TestInfiniteLoopDoesNotReachExit(t *testing.T) {
+	g := build(t, "for {\nwork()\n}")
+	if g.ExitReachable() {
+		t.Fatal("for{} with no break must not reach exit")
+	}
+	if g.Terminates() {
+		t.Fatal("for{} with no break must not terminate")
+	}
+	loops := g.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("want 1 loop, got %d", len(loops))
+	}
+	l := loops[0]
+	if g.Reaches(l.Head, func(b *Block) bool { return b == l.After || b == g.Exit || b == g.Panic }) {
+		t.Fatal("infinite loop must not escape")
+	}
+}
+
+func TestLoopWithBreakEscapes(t *testing.T) {
+	g := build(t, "for {\nif done() {\nbreak\n}\n}")
+	if !g.ExitReachable() {
+		t.Fatal("for with break must reach exit")
+	}
+	l := g.Loops()[0]
+	if !g.Reaches(l.Head, func(b *Block) bool { return b == l.After }) {
+		t.Fatal("break must make After reachable from Head")
+	}
+}
+
+func TestLoopWithReturnEscapes(t *testing.T) {
+	g := build(t, "for {\nif done() {\nreturn\n}\n}")
+	l := g.Loops()[0]
+	if g.Reaches(l.Head, func(b *Block) bool { return b == l.After }) {
+		t.Fatal("return does not pass through After")
+	}
+	if !g.Reaches(l.Head, func(b *Block) bool { return b == g.Exit }) {
+		t.Fatal("return must make Exit reachable from the loop head")
+	}
+}
+
+func TestCondLoopEscapes(t *testing.T) {
+	g := build(t, "for i := 0; i < 10; i++ {\nwork()\n}")
+	l := g.Loops()[0]
+	if !g.Reaches(l.Head, func(b *Block) bool { return b == l.After }) {
+		t.Fatal("conditional loop must have a head->after edge")
+	}
+}
+
+func TestRangeLoopAlwaysEscapes(t *testing.T) {
+	g := build(t, "for v := range ch {\nuse(v)\n}")
+	l := g.Loops()[0]
+	if !g.Reaches(l.Head, func(b *Block) bool { return b == l.After }) {
+		t.Fatal("range loop must have a head->after edge")
+	}
+}
+
+func TestPanicEdgesToPanicSink(t *testing.T) {
+	g := build(t, `if bad() {
+panic("no")
+}
+ok()`)
+	if !g.ExitReachable() {
+		t.Fatal("non-panicking path must still reach exit")
+	}
+	if !g.Reaches(g.Entry, func(b *Block) bool { return b == g.Panic }) {
+		t.Fatal("panic() must edge to the panic sink")
+	}
+}
+
+func TestOsExitIsNoReturn(t *testing.T) {
+	g := build(t, "os.Exit(1)\nunreachable()")
+	if g.ExitReachable() {
+		t.Fatal("code after os.Exit must be unreachable")
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {}")
+	if g.Terminates() {
+		t.Fatal("select{} must not terminate")
+	}
+}
+
+func TestSelectWithReturnArm(t *testing.T) {
+	g := build(t, `for {
+select {
+case <-ctx.Done():
+return
+case v := <-work:
+use(v)
+}
+}`)
+	if !g.ExitReachable() {
+		t.Fatal("ctx.Done/return arm must reach exit")
+	}
+	l := g.Loops()[0]
+	if !g.Reaches(l.Head, func(b *Block) bool { return b == g.Exit }) {
+		t.Fatal("loop must escape via the return arm")
+	}
+}
+
+func TestSelectLoopWithoutExitArm(t *testing.T) {
+	g := build(t, `for {
+select {
+case a := <-ch1:
+use(a)
+case b := <-ch2:
+use(b)
+}
+}`)
+	if g.Terminates() {
+		t.Fatal("select loop with no return/break arm must not terminate")
+	}
+}
+
+func TestSwitchWithoutDefaultFallsThrough(t *testing.T) {
+	g := build(t, `switch x {
+case 1:
+one()
+}
+after()`)
+	if !g.ExitReachable() {
+		t.Fatal("switch without default must have a no-match path to exit")
+	}
+}
+
+func TestSwitchAllArmsReturnWithDefault(t *testing.T) {
+	g := build(t, `switch x {
+case 1:
+return
+default:
+return
+}
+`)
+	if !g.ExitReachable() {
+		t.Fatal("return arms reach exit")
+	}
+	// But the statement after the switch is unreachable: the implicit
+	// fallthrough block has no predecessors. Spot-check via must-analysis:
+	// every exit path returns, so "hit a return" must hold at exit.
+	if !g.AllExitPathsHit(func(n ast.Node) bool {
+		_, ok := n.(*ast.ReturnStmt)
+		return ok
+	}) {
+		t.Fatal("every exit path goes through a return")
+	}
+}
+
+func TestLabeledBreakEscapesOuterLoop(t *testing.T) {
+	g := build(t, `outer:
+for {
+for {
+if done() {
+break outer
+}
+}
+}`)
+	if !g.ExitReachable() {
+		t.Fatal("labeled break must escape both loops")
+	}
+	for _, l := range g.Loops() {
+		if _, ok := l.Stmt.(*ast.ForStmt); !ok {
+			continue
+		}
+		if !g.Reaches(l.Head, func(b *Block) bool { return b == g.Exit || b == l.After }) {
+			t.Fatal("both loops must be escapable via the labeled break")
+		}
+	}
+}
+
+func TestGotoForwardAndBack(t *testing.T) {
+	g := build(t, `i := 0
+loop:
+if i < 10 {
+i++
+goto loop
+}
+done()`)
+	if !g.ExitReachable() {
+		t.Fatal("goto loop with conditional exit must reach exit")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := build(t, "defer mu.Unlock()\ndefer wg.Done()\nwork()")
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 defers, got %d", len(g.Defers))
+	}
+}
+
+// findNode returns the first placed node whose source text contains want.
+func findNode(t *testing.T, g *Graph, fset *token.FileSet, want string) ast.Node {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if nodeContains(n, want) {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no placed node mentioning %q", want)
+	return nil
+}
+
+func nodeContains(n ast.Node, want string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && strings.Contains(id.Name, want) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func TestAllPathsHitBeforeSameBlock(t *testing.T) {
+	g := build(t, "wgAdd()\ngoSpawn()")
+	target := findNode(t, g, nil, "goSpawn")
+	if !g.AllPathsHitBefore(target, func(n ast.Node) bool { return nodeContains(n, "wgAdd") }) {
+		t.Fatal("wgAdd precedes goSpawn in the same block")
+	}
+}
+
+func TestAllPathsHitBeforeBranchMiss(t *testing.T) {
+	g := build(t, `if cond() {
+wgAdd()
+}
+goSpawn()`)
+	target := findNode(t, g, nil, "goSpawn")
+	if g.AllPathsHitBefore(target, func(n ast.Node) bool { return nodeContains(n, "wgAdd") }) {
+		t.Fatal("the else path skips wgAdd; must-analysis has to catch it")
+	}
+}
+
+func TestAllPathsHitBeforeBothBranches(t *testing.T) {
+	g := build(t, `if cond() {
+wgAdd()
+} else {
+wgAdd()
+}
+goSpawn()`)
+	target := findNode(t, g, nil, "goSpawn")
+	if !g.AllPathsHitBefore(target, func(n ast.Node) bool { return nodeContains(n, "wgAdd") }) {
+		t.Fatal("both branches hit wgAdd")
+	}
+}
+
+func TestAllPathsHitBeforeInsideLoop(t *testing.T) {
+	// Add and go in the same loop body: every iteration Adds before
+	// spawning, even though the loop head is upstream of both.
+	g := build(t, `for i := 0; i < n; i++ {
+wgAdd()
+goSpawn()
+}`)
+	target := findNode(t, g, nil, "goSpawn")
+	if !g.AllPathsHitBefore(target, func(n ast.Node) bool { return nodeContains(n, "wgAdd") }) {
+		t.Fatal("Add directly before go inside a loop body must dominate")
+	}
+}
+
+func TestAllExitPathsHitEarlyReturnMiss(t *testing.T) {
+	g := build(t, `if short() {
+return
+}
+wgDone()`)
+	if g.AllExitPathsHit(func(n ast.Node) bool { return nodeContains(n, "wgDone") }) {
+		t.Fatal("the early return skips wgDone")
+	}
+}
+
+func TestAllExitPathsHitDefer(t *testing.T) {
+	g := build(t, `defer wgDone()
+if short() {
+return
+}
+work()`)
+	// The DeferStmt itself is placed before any return, so hitting it
+	// covers all exits.
+	if !g.AllExitPathsHit(func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		return ok && nodeContains(d, "wgDone")
+	}) {
+		t.Fatal("top-level defer covers every exit path")
+	}
+}
+
+func TestPanicPathNotRequiredToHit(t *testing.T) {
+	g := build(t, `if bad() {
+panic("boom")
+}
+cleanup()`)
+	if !g.AllExitPathsHit(func(n ast.Node) bool { return nodeContains(n, "cleanup") }) {
+		t.Fatal("panicking paths are exempt from the exit-hit requirement")
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if !g.ExitReachable() {
+		t.Fatal("empty body reaches exit")
+	}
+}
+
+func TestTypeSwitchAndSelectPlacement(t *testing.T) {
+	g := build(t, `switch v := x.(type) {
+case int:
+use(v)
+case string:
+use(v)
+}
+tail()`)
+	if !g.ExitReachable() {
+		t.Fatal("type switch must flow to exit")
+	}
+	if findNode(t, g, nil, "tail") == nil {
+		t.Fatal("tail placed")
+	}
+}

@@ -1,0 +1,418 @@
+// Package goleak defines the analyzer enforcing goroutine-lifecycle
+// discipline: every `go` statement in internal/ packages must have a
+// provable termination path.
+//
+// For each spawn the analyzer resolves the goroutine body (a function
+// literal, or a same-package function or method) and checks its CFG:
+//
+//   - every loop must be escapable: a loop condition, break, return, or
+//     goto out — `for { select { ... } }` needs an arm that returns or
+//     breaks. Panicking out counts (the goroutine dies either way).
+//   - a range over a channel is only a termination path when the package
+//     contains a close(...) of a matching channel expression; the loop is
+//     otherwise an idle-forever leak.
+//   - WaitGroup discipline: when the body calls wg.Done once per lifetime
+//     (not per loop iteration), Done must be reached on every clean exit
+//     path (defer is the idiom) and the spawner must execute a matching
+//     wg.Add on every CFG path leading to the `go` statement. An Add
+//     immediately before a spawn whose body never calls Done is reported
+//     as the converse leak. Per-task Done calls inside a loop (worker
+//     pools) are exempt from the pairing requirement.
+//   - a body with no reachable exit at all (`select {}`) is reported even
+//     when it contains no loop.
+//
+// Unresolvable spawn targets (function values, cross-package calls) are
+// reported: if the goroutine's lifecycle is managed elsewhere, say so
+// with the only escape hatch,
+//
+//	//lint:allow goroutine <why>
+//
+// The analyzer checks _test.go files too — leaked goroutines in tests
+// poison every later test in the binary, and the chaos/soak suites lean
+// on goroutine counts.
+//
+// Packages outside repro/internal (cmd, examples) are out of scope:
+// their goroutines die with the process.
+package goleak
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement needs a provable termination path\n\n" +
+		"Resolves each goroutine body and requires escapable loops, a close() for\n" +
+		"ranged channels, WaitGroup Add/Done pairing on all CFG paths, and a\n" +
+		"reachable exit; //lint:allow goroutine <why> is the only escape.",
+	Run: run,
+}
+
+// scope is one function-like body (declaration or literal) that may spawn
+// goroutines.
+type scope struct {
+	body *ast.BlockStmt
+	// fd is the enclosing declaration, for diagnostics; nil for literals.
+	fd *ast.FuncDecl
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	idx    *allow.Index
+	declOf map[*types.Func]*ast.FuncDecl
+	// closed records ExprString of every close(...) argument in the
+	// package, plus each argument's final selector component.
+	closed     map[string]bool
+	closedLast map[string]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if p := pass.Pkg.Path(); strings.HasPrefix(p, "repro/") && !strings.HasPrefix(p, "repro/internal") {
+		return nil, nil
+	}
+	c := &checker{
+		pass:       pass,
+		idx:        allow.NewIndex(pass.Fset, pass.Files),
+		declOf:     make(map[*types.Func]*ast.FuncDecl),
+		closed:     make(map[string]bool),
+		closedLast: make(map[string]bool),
+	}
+
+	var scopes []scope
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					c.declOf[fn] = fd
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scopes = append(scopes, scope{body: n.Body, fd: n})
+				}
+			case *ast.FuncLit:
+				scopes = append(scopes, scope{body: n.Body})
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						e := types.ExprString(n.Args[0])
+						c.closed[e] = true
+						c.closedLast[lastComponent(e)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, s := range scopes {
+		g := cfg.New(s.body)
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					c.checkSpawn(s, g, b, gs)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkSpawn verifies one go statement found in spawner scope s (graph
+// sg, in block sb).
+func (c *checker) checkSpawn(s scope, sg *cfg.Graph, sb *cfg.Block, gs *ast.GoStmt) {
+	if c.idx.Allowed(gs.Pos(), "goroutine") {
+		return
+	}
+
+	body, paramMap := c.resolveBody(gs.Call)
+	if body == nil {
+		c.pass.Reportf(gs.Pos(), "cannot statically resolve the goroutine body; if its lifecycle is managed elsewhere, annotate //lint:allow goroutine <why>")
+		return
+	}
+
+	bg := cfg.New(body)
+	leaky := false
+
+	for _, l := range bg.Loops() {
+		escapable := bg.Reaches(l.Head, func(b *cfg.Block) bool {
+			return b == l.After || b == bg.Exit || b == bg.Panic
+		})
+		if !escapable {
+			c.pass.Reportf(l.Stmt.Pos(), "goroutine loop has no exit path (no break, return, or loop condition); the goroutine can never terminate")
+			leaky = true
+			continue
+		}
+		if rs, ok := l.Stmt.(*ast.RangeStmt); ok && c.isChannel(rs.X) {
+			e := c.mapExpr(types.ExprString(rs.X), paramMap)
+			if !c.closed[e] && !c.closedLast[lastComponent(e)] {
+				c.pass.Reportf(rs.Pos(), "goroutine ranges over channel %s but no close(%s) exists in this package; the range never ends", e, e)
+				leaky = true
+			}
+		}
+	}
+
+	if !leaky && !bg.Terminates() {
+		c.pass.Reportf(gs.Pos(), "goroutine has no reachable exit (no return, panic, or fall-through); it can never terminate")
+	}
+
+	c.checkWaitGroup(sg, sb, gs, body, bg, paramMap)
+}
+
+// checkWaitGroup enforces Add/Done pairing for goroutine-lifetime Done
+// calls, and the converse: an Add directly before a spawn whose body
+// never calls Done.
+func (c *checker) checkWaitGroup(sg *cfg.Graph, sb *cfg.Block, gs *ast.GoStmt, body *ast.BlockStmt, bg *cfg.Graph, paramMap map[string]string) {
+	dones := c.wgCalls(body, "Done")
+	for _, d := range dones {
+		if d.inLoop {
+			// Per-task Done (worker pool): Add happens per submitted
+			// task, not per goroutine; pairing is out of CFG reach.
+			continue
+		}
+		recv := d.recv
+		if !bg.AllExitPathsHit(func(n ast.Node) bool {
+			return c.hasWGCall(n, "Done", recv)
+		}) {
+			c.pass.Reportf(gs.Pos(), "goroutine can exit without calling %s.Done (defer it, or call it on every return path)", recv)
+		}
+		mapped := c.mapExpr(recv, paramMap)
+		if !sg.AllPathsHitBefore(gs, func(n ast.Node) bool {
+			return c.hasWGCall(n, "Add", mapped)
+		}) {
+			c.pass.Reportf(gs.Pos(), "%s.Done in the goroutine has no matching %s.Add on every path to this go statement", recv, mapped)
+		}
+	}
+
+	// Converse: Add immediately before the spawn, body never Dones.
+	if prev := nodeBefore(sb, gs); prev != nil {
+		if recv, ok := c.wgCallRecv(prev, "Add"); ok {
+			found := false
+			for _, d := range dones {
+				if c.mapExpr(d.recv, paramMap) == recv || d.recv == recv {
+					found = true
+					break
+				}
+			}
+			if !found {
+				c.pass.Reportf(gs.Pos(), "%s.Add immediately before this go statement, but the goroutine never calls %s.Done; Wait would hang", recv, recv)
+			}
+		}
+	}
+}
+
+// resolveBody returns the spawned body and a parameter-to-argument
+// expression map, or nil when the target cannot be resolved statically.
+func (c *checker) resolveBody(call *ast.CallExpr) (*ast.BlockStmt, map[string]string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body, paramMapOf(fun.Type, call.Args)
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = fun.(*ast.Ident)
+		}
+		fn, ok := c.pass.TypesInfo.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() != c.pass.Pkg {
+			return nil, nil
+		}
+		fd := c.declOf[fn]
+		if fd == nil || fd.Body == nil {
+			return nil, nil
+		}
+		return fd.Body, paramMapOf(fd.Type, call.Args)
+	}
+	return nil, nil
+}
+
+// paramMapOf maps each named parameter to the ExprString of the argument
+// bound to it at the spawn site.
+func paramMapOf(ft *ast.FuncType, args []ast.Expr) map[string]string {
+	m := make(map[string]string)
+	if ft == nil || ft.Params == nil {
+		return m
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if i < len(args) {
+				m[name.Name] = normalizeExpr(types.ExprString(args[i]))
+			}
+			i++
+		}
+	}
+	return m
+}
+
+// mapExpr rewrites a body-side expression through the param map: a bare
+// parameter name, or a parameter-rooted selector.
+func (c *checker) mapExpr(e string, paramMap map[string]string) string {
+	e = normalizeExpr(e)
+	if paramMap == nil {
+		return e
+	}
+	if arg, ok := paramMap[e]; ok {
+		return arg
+	}
+	if root, rest, ok := strings.Cut(e, "."); ok {
+		if arg, found := paramMap[root]; found {
+			return arg + "." + rest
+		}
+	}
+	return e
+}
+
+func normalizeExpr(e string) string {
+	e = strings.TrimPrefix(e, "&")
+	e = strings.TrimPrefix(e, "*")
+	return e
+}
+
+func lastComponent(e string) string {
+	if i := strings.LastIndex(e, "."); i >= 0 {
+		return e[i+1:]
+	}
+	return e
+}
+
+func (c *checker) isChannel(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+// wgCall is one sync.WaitGroup method call found in a goroutine body.
+type wgCall struct {
+	recv   string
+	inLoop bool
+}
+
+// wgCalls finds receiver expressions of WaitGroup method calls named
+// name, tracking whether each occurrence sits inside a loop. Nested
+// function literals are included (a deferred func(){ wg.Done() }() still
+// runs at exit) without resetting loop depth.
+func (c *checker) wgCalls(body *ast.BlockStmt, name string) []wgCall {
+	var out []wgCall
+	seen := make(map[string]bool)
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt:
+			walk(n.Body, depth+1)
+			return
+		case *ast.RangeStmt:
+			walk(n.Body, depth+1)
+			return
+		case *ast.CallExpr:
+			if recv, ok := c.wgCallRecv(n, name); ok {
+				key := recv
+				if seen[key] {
+					break
+				}
+				seen[key] = true
+				out = append(out, wgCall{recv: recv, inLoop: depth > 0})
+			}
+		}
+		children(n, func(ch ast.Node) { walk(ch, depth) })
+	}
+	walk(body, 0)
+	return out
+}
+
+// children visits direct child nodes via one level of ast.Inspect.
+func children(n ast.Node, f func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if first {
+			first = false
+			return true
+		}
+		f(x)
+		return false
+	})
+}
+
+// hasWGCall reports whether n's subtree contains a WaitGroup call
+// name() on receiver recv.
+func (c *checker) hasWGCall(n ast.Node, name, recv string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && !found {
+			if r, ok := c.wgCallRecv(call, name); ok && r == recv {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// wgCallRecv returns the receiver expression string when n (or, for a
+// statement, its direct expression) is a call to sync.WaitGroup method
+// name.
+func (c *checker) wgCallRecv(n ast.Node, name string) (string, bool) {
+	var call *ast.CallExpr
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		call = n
+	case *ast.ExprStmt:
+		call, _ = n.X.(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = n.Call
+	}
+	if call == nil {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "WaitGroup" || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", false
+	}
+	return normalizeExpr(types.ExprString(sel.X)), true
+}
+
+// nodeBefore returns the leaf node preceding target in its block, or nil.
+func nodeBefore(b *cfg.Block, target ast.Node) ast.Node {
+	var prev ast.Node
+	for _, n := range b.Nodes {
+		if n == target {
+			return prev
+		}
+		prev = n
+	}
+	return nil
+}

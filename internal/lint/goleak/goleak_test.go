@@ -1,0 +1,14 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), goleak.Analyzer,
+		"goleakbasic", // leaks in goleakbasic.go, managed lifecycles in clean.go
+	)
+}

@@ -1,0 +1,101 @@
+package goleakbasic
+
+import (
+	"context"
+	"sync"
+)
+
+// Quit-channel select: the canonical managed worker.
+func SpawnCtx(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Range over a channel this package closes.
+type pool struct {
+	ch chan int
+	wg sync.WaitGroup
+}
+
+func (p *pool) start() {
+	go func() {
+		for v := range p.ch {
+			_ = v
+		}
+	}()
+}
+
+func (p *pool) stop() { close(p.ch) }
+
+// Worker pool: per-task Done inside the loop is exempt from the pairing
+// rule — Add happens per submitted task, not per goroutine.
+type workerPool struct {
+	wg   sync.WaitGroup
+	work chan func()
+}
+
+func (p *workerPool) run() {
+	go func() {
+		for f := range p.work {
+			f()
+			p.wg.Done()
+		}
+	}()
+}
+
+func (p *workerPool) submit(f func()) {
+	p.wg.Add(1)
+	p.work <- f
+}
+
+func (p *workerPool) close() { close(p.work) }
+
+// Goroutine-lifetime WaitGroup, deferred Done, Add dominating the spawn.
+func SpawnWG(wg *sync.WaitGroup, n int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = n
+	}()
+}
+
+// The WaitGroup arrives as a parameter: Done pairs through the argument.
+func SpawnParamWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func(w *sync.WaitGroup) {
+		defer w.Done()
+		work()
+	}(wg)
+}
+
+// Loop-free method body: runs to completion on every path.
+type server struct{ done chan struct{} }
+
+func (s *server) runOnce() { <-s.done }
+
+func (s *server) start() {
+	go s.runOnce()
+}
+
+// Bounded loop: the condition is an exit path.
+func SpawnBounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}
+
+// The escape hatch, justified.
+func SpawnAllowed(f func()) {
+	//lint:allow goroutine supervisor owns this lifecycle and joins at shutdown
+	go f()
+}

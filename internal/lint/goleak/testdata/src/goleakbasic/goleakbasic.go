@@ -1,0 +1,84 @@
+// Package goleakbasic exercises the goleak findings: inescapable loops,
+// unclosed channel ranges, WaitGroup pairing on all CFG paths, blocked
+// bodies, and unresolvable spawns.
+package goleakbasic
+
+import "sync"
+
+func work() {}
+
+func SpawnForever(in chan int) {
+	go func() {
+		for { // want `goroutine loop has no exit path`
+			<-in
+		}
+	}()
+}
+
+func SpawnUnclosed(in chan int) {
+	go func() {
+		for v := range in { // want `goroutine ranges over channel in but no close\(in\) exists in this package`
+			_ = v
+		}
+	}()
+}
+
+func SpawnWGBranch(wg *sync.WaitGroup, cond bool) {
+	if cond {
+		wg.Add(1)
+	}
+	go func() { // want `wg.Done in the goroutine has no matching wg.Add on every path to this go statement`
+		defer wg.Done()
+		work()
+	}()
+}
+
+func SpawnWGEarlyReturn(wg *sync.WaitGroup, cond bool) {
+	wg.Add(1)
+	go func() { // want `goroutine can exit without calling wg.Done`
+		if cond {
+			return
+		}
+		wg.Done()
+	}()
+}
+
+func SpawnAddNoDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `wg.Add immediately before this go statement, but the goroutine never calls wg.Done`
+		work()
+	}()
+}
+
+func SpawnBlockForever() {
+	go func() { // want `goroutine has no reachable exit`
+		select {}
+	}()
+}
+
+func SpawnDynamic(f func()) {
+	go f() // want `cannot statically resolve the goroutine body`
+}
+
+func loopForever(ch chan int) {
+	for { // want `goroutine loop has no exit path`
+		<-ch
+	}
+}
+
+func SpawnNamedForever(ch chan int) {
+	go loopForever(ch)
+}
+
+func SpawnSelectLoopNoExitArm(a, b chan int) {
+	go func() {
+		for { // want `goroutine loop has no exit path`
+			select {
+			case v := <-a:
+				_ = v
+			case v := <-b:
+				_ = v
+			}
+		}
+	}()
+}

@@ -1,0 +1,226 @@
+package hotalloc_test
+
+// This test is the runtime half of the hotalloc contract, mirroring the
+// two-way metricname <-> requiredFamilies coverage test: every
+// //lint:hotpath function in the repository must be exercised by a
+// testing.AllocsPerRun regression test in its package (so the static
+// "cannot allocate" verdict is pinned by a measured "does not allocate"),
+// and every entry in the exemption table must still name a hotpath
+// function that genuinely lacks a pin — a stale exemption fails too.
+//
+// Coverage is established syntactically: starting from every function
+// whose body mentions AllocsPerRun, a breadth-first search over
+// referenced identifiers within the package's declarations must reach the
+// hot function's name. This deliberately tracks names, not call graphs:
+// it survives handler indirection (ServeHTTP through a mux) that no
+// static call graph would thread, while still failing when a hot
+// function's pinning test is deleted or renamed away.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// allocsPinExempt lists hotpath functions allowed to have no AllocsPerRun
+// pin, and why. Entries must stay honest: an entry whose function is no
+// longer annotated, or has since gained a pin, fails the test.
+var allocsPinExempt = map[string]string{
+	// (empty: every current hotpath function is pinned)
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test binary's working directory")
+		}
+		dir = parent
+	}
+}
+
+// hotpathFuncs maps package directory -> hotpath-annotated function names,
+// collected syntactically from every non-test file outside testdata.
+func hotpathFuncs(t *testing.T, root string) map[string][]string {
+	t.Helper()
+	hot := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", ".git", "bin":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		marked := make(map[int]bool)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, "//lint:hotpath") {
+					marked[fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(marked) == 0 {
+			return nil
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			isHot := false
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(c.Text, "//lint:hotpath") {
+						isHot = true
+					}
+				}
+			}
+			if marked[fset.Position(decl.Pos()).Line-1] {
+				isHot = true
+			}
+			if isHot {
+				dir := filepath.Dir(path)
+				hot[dir] = append(hot[dir], fd.Name.Name)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hot
+}
+
+// packageRefs parses every .go file in dir (tests included; all package
+// variants in the directory count) and returns, per declared function
+// name, the set of identifiers its body references, plus the set of
+// function names whose bodies mention AllocsPerRun.
+func packageRefs(t *testing.T, dir string) (refs map[string]map[string]bool, seeds map[string]bool) {
+	t.Helper()
+	refs = make(map[string]map[string]bool)
+	seeds = make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			if refs[name] == nil {
+				refs[name] = make(map[string]bool)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					refs[name][id.Name] = true
+					if id.Name == "AllocsPerRun" {
+						seeds[name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return refs, seeds
+}
+
+// pinned reports whether fn is reachable from any AllocsPerRun-mentioning
+// function by following referenced names through dir's declarations.
+func pinned(refs map[string]map[string]bool, seeds map[string]bool, fn string) bool {
+	visited := make(map[string]bool)
+	queue := make([]string, 0, len(seeds))
+	for s := range seeds {
+		queue = append(queue, s)
+		visited[s] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == fn {
+			return true
+		}
+		for ref := range refs[cur] {
+			if refs[ref] != nil && !visited[ref] {
+				visited[ref] = true
+				queue = append(queue, ref)
+			}
+		}
+	}
+	return visited[fn] || seeds[fn]
+}
+
+func TestHotpathFunctionsArePinnedByAllocsPerRun(t *testing.T) {
+	root := repoRoot(t)
+	hot := hotpathFuncs(t, root)
+	if len(hot) == 0 {
+		t.Fatal("no //lint:hotpath functions found in the repository; the annotations were removed without updating this test")
+	}
+
+	seen := make(map[string]bool)
+	for dir, fns := range hot {
+		refs, seeds := packageRefs(t, dir)
+		rel, _ := filepath.Rel(root, dir)
+		for _, fn := range fns {
+			seen[fn] = true
+			if _, exempt := allocsPinExempt[fn]; exempt {
+				if pinned(refs, seeds, fn) {
+					t.Errorf("%s: hotpath function %s is exempt from an AllocsPerRun pin but has one; remove the stale exemption", rel, fn)
+				}
+				continue
+			}
+			if !pinned(refs, seeds, fn) {
+				t.Errorf("%s: hotpath function %s has no AllocsPerRun regression test reachable in its package; pin the zero-allocation claim or add an allocsPinExempt entry", rel, fn)
+			}
+		}
+	}
+
+	// The reverse direction: exemptions must name live hotpath functions.
+	for fn := range allocsPinExempt {
+		if !seen[fn] {
+			t.Errorf("allocsPinExempt names %s, which is not a //lint:hotpath function; remove the stale entry", fn)
+		}
+	}
+
+	// The two acceptance anchors of PR 10 must be among the hot roots: the
+	// oracle batch kernel and the RPB1 decode path.
+	for _, anchor := range []string{"QueryBatchInto", "decodePairsBinary"} {
+		if !seen[anchor] {
+			t.Errorf("%s is no longer //lint:hotpath-annotated; the zero-allocation contract lost its anchor", anchor)
+		}
+	}
+}

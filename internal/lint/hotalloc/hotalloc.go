@@ -1,0 +1,623 @@
+// Package hotalloc defines the analyzer enforcing the repo's
+// zero-allocation contracts at build time.
+//
+// A function annotated
+//
+//	//lint:hotpath [note]
+//
+// (on the line above or in the doc comment of its declaration) promises
+// that its steady-state execution performs no heap allocation. The
+// analyzer walks the function's CFG (internal/lint/cfg) and reports every
+// allocation site reachable on a warm path:
+//
+//   - make, new, and composite literals of slice/map/channel type,
+//   - &T{...} (escaping composite literal),
+//   - append (growth capacity is unknowable statically),
+//   - string concatenation and string<->[]byte/[]rune conversions,
+//   - interface boxing: concrete values passed to interface parameters,
+//     including fmt-style ...any variadics, and explicit conversions,
+//   - function literals that capture enclosing variables by reference,
+//   - dynamic calls (function values, interface methods), and
+//   - calls to functions not proven allocation-free.
+//
+// The contract is transitive. Same-package callees are folded in via a
+// local fixpoint; cross-package callees are checked through the
+// hotalloc.Summaries package fact, which records for every function of a
+// package whether it allocates and why. Calls into sync/atomic, math,
+// math/bits, and encoding/binary are trusted allocation-free, as are the
+// sync mutex/WaitGroup primitives; any other un-summarized callee is
+// reported.
+//
+// Cold paths are excused: a statement is skipped when no path from it
+// reaches a success exit — i.e. it can only flow into a `return ..., err`
+// (non-nil error result) or a panic. Error construction off the hot path
+// is the normal idiom and is not a finding.
+//
+// //lint:allow alloc <why> waives one site (pooled appends behind a
+// capacity guard, construction-time maps, and the like).
+package hotalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/cfg"
+)
+
+// Summaries is the package fact recording, per function, whether it can
+// allocate on a warm path and the first reason why.
+type Summaries struct {
+	Funcs map[string]FuncSummary
+}
+
+// FuncSummary is one function's allocation verdict.
+type FuncSummary struct {
+	Allocates bool
+	Reason    string
+}
+
+// AFact marks Summaries as a fact type.
+func (*Summaries) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "//lint:hotpath functions (and their transitive callees) must not allocate\n\n" +
+		"Reports every warm-path allocation site reachable from a hotpath-annotated\n" +
+		"function: make/new/append, escaping or slice/map composite literals, string\n" +
+		"concat/conversion, interface boxing (including fmt variadics), capturing\n" +
+		"closures, dynamic calls, and calls to functions not proven allocation-free\n" +
+		"(cross-package via the hotalloc.Summaries fact).",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*Summaries)(nil)},
+}
+
+const hotpathPrefix = "//lint:hotpath"
+
+// trustedPkgs are stdlib packages whose functions are accepted as
+// allocation-free without summaries.
+var trustedPkgs = map[string]bool{
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"encoding/binary": true,
+}
+
+// trustedFuncs accepts individual stdlib functions as allocation-free when
+// their whole package can't be trusted: the sync primitives are fine, but
+// sync.Pool.Get (calls New) and sync.Map (boxes entries) are not.
+var trustedFuncs = map[string]map[string]bool{
+	"sync": {
+		"WaitGroup.Add":   true,
+		"WaitGroup.Done":  true,
+		"WaitGroup.Wait":  true,
+		"Mutex.Lock":      true,
+		"Mutex.TryLock":   true,
+		"Mutex.Unlock":    true,
+		"RWMutex.Lock":    true,
+		"RWMutex.TryLock": true,
+		"RWMutex.Unlock":  true,
+		"RWMutex.RLock":   true,
+		"RWMutex.RUnlock": true,
+	},
+}
+
+// site is one allocation site inside a function.
+type site struct {
+	pos  token.Pos
+	kind string
+}
+
+// localCall is a call to a same-package function, resolved in the local
+// fixpoint.
+type localCall struct {
+	key string
+	pos token.Pos
+}
+
+type funcInfo struct {
+	decl      *ast.FuncDecl
+	key       string
+	hot       bool
+	sites     []site
+	locals    []localCall
+	allocates bool
+	reason    string
+}
+
+type checker struct {
+	pass *analysis.Pass
+	idx  *allow.Index
+	// infos in declaration order; byKey indexes them.
+	infos []*funcInfo
+	byKey map[string]*funcInfo
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:  pass,
+		idx:   allow.NewIndex(pass.Fset, pass.Files),
+		byKey: make(map[string]*funcInfo),
+	}
+
+	hotLines := c.hotpathLines()
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{decl: fd, key: funcKey(obj), hot: c.isHot(fd, hotLines)}
+			c.scanFunc(fi, obj)
+			c.infos = append(c.infos, fi)
+			c.byKey[fi.key] = fi
+		}
+	}
+
+	c.fixpoint()
+	c.report()
+	c.exportFacts()
+	return nil, nil
+}
+
+// hotpathLines collects the (file, line) positions of standalone
+// //lint:hotpath comments so annotation-above declarations resolve even
+// without a doc comment.
+func (c *checker) hotpathLines() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range c.pass.Files {
+		for _, cg := range f.Comments {
+			for _, cm := range cg.List {
+				if !strings.HasPrefix(cm.Text, hotpathPrefix) {
+					continue
+				}
+				p := c.pass.Fset.Position(cm.Pos())
+				if out[p.Filename] == nil {
+					out[p.Filename] = make(map[int]bool)
+				}
+				out[p.Filename][p.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+func (c *checker) isHot(fd *ast.FuncDecl, hotLines map[string]map[int]bool) bool {
+	if fd.Doc != nil {
+		for _, cm := range fd.Doc.List {
+			if strings.HasPrefix(cm.Text, hotpathPrefix) {
+				return true
+			}
+		}
+	}
+	p := c.pass.Fset.Position(fd.Pos())
+	return hotLines[p.Filename][p.Line-1] || hotLines[p.Filename][p.Line]
+}
+
+// scanFunc fills fi.sites and fi.locals from the warm blocks of fd's CFG.
+func (c *checker) scanFunc(fi *funcInfo, obj *types.Func) {
+	g := cfg.New(fi.decl.Body)
+	warm := warmBlocks(g, c.pass, obj)
+	for _, b := range g.Blocks {
+		if !warm[b.Index] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			c.scanNode(fi, n)
+		}
+	}
+	sort.Slice(fi.sites, func(i, j int) bool { return fi.sites[i].pos < fi.sites[j].pos })
+	sort.Slice(fi.locals, func(i, j int) bool { return fi.locals[i].pos < fi.locals[j].pos })
+}
+
+// warmBlocks marks every block from which a success exit is reachable: a
+// return whose error result is nil (or any return when the function does
+// not return an error), or the implicit fall off the end of the body.
+func warmBlocks(g *cfg.Graph, pass *analysis.Pass, obj *types.Func) []bool {
+	sig := obj.Type().(*types.Signature)
+	returnsError := false
+	if res := sig.Results(); res.Len() > 0 {
+		last := res.At(res.Len() - 1).Type()
+		returnsError = types.Identical(last, types.Universe.Lookup("error").Type())
+	}
+
+	success := make([]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		hasReturn := false
+		for _, n := range b.Nodes {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				continue
+			}
+			hasReturn = true
+			if !returnsError || len(ret.Results) == 0 {
+				success[b.Index] = true
+				continue
+			}
+			last := ret.Results[len(ret.Results)-1]
+			if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+				success[b.Index] = true
+			}
+		}
+		if !hasReturn {
+			for _, s := range b.Succs {
+				if s == g.Exit {
+					// Implicit return at the end of the body.
+					success[b.Index] = true
+				}
+			}
+		}
+	}
+
+	// A function whose every return carries a non-nil error (an error
+	// constructor, say) has no success exit; its returns ARE the steady
+	// state, so fall back to treating them all as warm.
+	any := false
+	for _, s := range success {
+		any = any || s
+	}
+	if !any {
+		for _, b := range g.Blocks {
+			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.ReturnStmt); ok {
+					success[b.Index] = true
+				}
+			}
+		}
+	}
+
+	warm := make([]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		warm[b.Index] = g.Reaches(b, func(x *cfg.Block) bool { return success[x.Index] })
+	}
+	return warm
+}
+
+// scanNode inspects one placed leaf node for allocation sites and local
+// call edges. Nested function literals are not descended into: the
+// literal itself is the site (when it captures), and its body belongs to
+// a different function for summary purposes.
+func (c *checker) scanNode(fi *funcInfo, n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if caps := c.captures(fi.decl, x); len(caps) > 0 {
+				c.addSite(fi, x.Pos(), "function literal captures "+strings.Join(caps, ", ")+" by reference")
+			}
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					c.addSite(fi, x.Pos(), "escaping composite literal (&T{...})")
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := c.pass.TypesInfo.Types[x]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Chan:
+					c.addSite(fi, x.Pos(), "slice/map/chan composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(c.typeOf(x)) {
+				c.addSite(fi, x.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			c.scanCall(fi, x)
+		}
+		return true
+	})
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) scanCall(fi *funcInfo, call *ast.CallExpr) {
+	info := c.pass.TypesInfo
+
+	// Conversions: T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to, from := tv.Type, c.typeOf(call.Args[0])
+		switch {
+		case isStringType(to) && (isByteOrRuneSlice(from)):
+			c.addSite(fi, call.Pos(), "[]byte/[]rune -> string conversion allocates")
+		case isByteOrRuneSlice(to) && isStringType(from):
+			c.addSite(fi, call.Pos(), "string -> []byte/[]rune conversion allocates")
+		case isInterfaceType(to) && from != nil && !isInterfaceType(from) && !isUntypedNil(from):
+			c.addSite(fi, call.Pos(), "conversion to interface boxes the value")
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "make":
+				c.addSite(fi, call.Pos(), "make allocates")
+			case "new":
+				c.addSite(fi, call.Pos(), "new allocates")
+			case "append":
+				c.addSite(fi, call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	callee := calleeFunc(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		c.addSite(fi, call.Pos(), "dynamic call (function value or interface method) may allocate")
+		return
+	}
+
+	// Interface boxing at the call boundary, for any resolved callee.
+	c.checkBoxing(fi, call, callee)
+
+	switch {
+	case callee.Pkg() == c.pass.Pkg:
+		fi.locals = append(fi.locals, localCall{key: funcKey(callee), pos: call.Pos()})
+	case trustedPkgs[callee.Pkg().Path()]:
+		// Trusted allocation-free.
+	case trustedFuncs[callee.Pkg().Path()][funcKey(callee)]:
+		// Trusted allocation-free primitive in an untrusted package.
+	default:
+		var s Summaries
+		name := callee.Pkg().Name() + "." + callee.Name()
+		if !c.pass.ImportPackageFact(callee.Pkg(), &s) {
+			c.addSite(fi, call.Pos(), fmt.Sprintf("call to %s, which has no allocation summary", name))
+			return
+		}
+		fs, ok := s.Funcs[funcKey(callee)]
+		if !ok {
+			c.addSite(fi, call.Pos(), fmt.Sprintf("call to %s, which has no allocation summary", name))
+			return
+		}
+		if fs.Allocates {
+			c.addSite(fi, call.Pos(), fmt.Sprintf("call to %s, which allocates: %s", name, fs.Reason))
+		}
+	}
+}
+
+// checkBoxing reports concrete values passed to interface parameters —
+// the fmt.Fprintf(...any) pattern chief among them.
+func (c *checker) checkBoxing(fi *funcInfo, call *ast.CallExpr, callee *types.Func) {
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // passing an existing slice: no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		}
+		at := c.typeOf(arg)
+		if pt != nil && isInterfaceType(pt) && at != nil && !isInterfaceType(at) && !isUntypedNil(at) {
+			c.addSite(fi, arg.Pos(), fmt.Sprintf(
+				"passing concrete value to interface parameter of %s.%s boxes it",
+				callee.Pkg().Name(), callee.Name()))
+		}
+	}
+}
+
+// addSite records a site unless //lint:allow alloc waives it.
+func (c *checker) addSite(fi *funcInfo, pos token.Pos, kind string) {
+	if c.idx.Allowed(pos, "alloc") {
+		return
+	}
+	fi.sites = append(fi.sites, site{pos: pos, kind: kind})
+}
+
+// captures lists enclosing local variables the literal reads or writes by
+// reference: uses resolving to variables declared inside the enclosing
+// function but outside the literal. Package-level variables and struct
+// fields do not force a closure allocation.
+func (c *checker) captures(encl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	pkgScope := c.pass.Pkg.Scope()
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Parent() == nil || v.Parent() == pkgScope || v.Parent() == types.Universe {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // the literal's own params/locals
+		}
+		if v.Pos() < encl.Pos() || v.Pos() > encl.End() {
+			return true // not from this function (e.g. another enclosing lit already counted)
+		}
+		if !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// fixpoint propagates allocation verdicts across same-package calls.
+func (c *checker) fixpoint() {
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range c.infos {
+			if fi.allocates {
+				continue
+			}
+			if len(fi.sites) > 0 {
+				fi.allocates = true
+				fi.reason = fmt.Sprintf("%s: %s", c.posn(fi.sites[0].pos), fi.sites[0].kind)
+				changed = true
+				continue
+			}
+			for _, lc := range fi.locals {
+				target := c.byKey[lc.key]
+				if target != nil && target.allocates {
+					fi.allocates = true
+					fi.reason = truncate(fmt.Sprintf("calls %s, which allocates (%s)", lc.key, target.reason))
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// report walks the hot closure from each annotated root in source order
+// and reports every site exactly once, attributed to the first root that
+// reaches it.
+func (c *checker) report() {
+	reported := make(map[token.Pos]bool)
+	visited := make(map[string]bool)
+	var visit func(fi *funcInfo, root string)
+	visit = func(fi *funcInfo, root string) {
+		if visited[fi.key] {
+			return
+		}
+		visited[fi.key] = true
+		for _, s := range fi.sites {
+			if reported[s.pos] {
+				continue
+			}
+			reported[s.pos] = true
+			c.pass.Reportf(s.pos, "allocation on the hot path (via %s): %s", root, s.kind)
+		}
+		for _, lc := range fi.locals {
+			if target := c.byKey[lc.key]; target != nil {
+				visit(target, root)
+			}
+		}
+	}
+	for _, fi := range c.infos {
+		if fi.hot {
+			visit(fi, fi.key)
+		}
+	}
+}
+
+// exportFacts publishes every function's verdict for dependents.
+func (c *checker) exportFacts() {
+	if len(c.infos) == 0 {
+		return
+	}
+	funcs := make(map[string]FuncSummary, len(c.infos))
+	for _, fi := range c.infos {
+		funcs[fi.key] = FuncSummary{Allocates: fi.allocates, Reason: fi.reason}
+	}
+	c.pass.ExportPackageFact(&Summaries{Funcs: funcs})
+}
+
+func (c *checker) posn(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func truncate(s string) string {
+	const max = 300
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}
+
+// funcKey canonicalizes a function object: "Name" for package functions,
+// "Type.Name" for methods regardless of pointer receivers.
+func funcKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls through function values or interface methods.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Interface method calls are dynamic.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil
+		}
+	}
+	return fn
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isInterfaceType(t types.Type) bool {
+	return t != nil && types.IsInterface(t)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotalloc.Analyzer,
+		"hotbasic", // every site kind, transitivity, cold paths, //lint:allow
+		"hotcross", // cross-package verdicts via the Summaries fact
+	)
+}

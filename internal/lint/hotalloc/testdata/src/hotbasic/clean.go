@@ -1,0 +1,56 @@
+package hotbasic
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel is the shape the annotation exists for: flat-table arithmetic,
+// no calls, no allocations.
+//
+//lint:hotpath steady-state distance kernel
+func Kernel(dst, src []int64) {
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+}
+
+// GoodAtomic: sync/atomic is trusted allocation-free.
+//
+//lint:hotpath
+func GoodAtomic(p *int64) int64 {
+	return atomic.LoadInt64(p)
+}
+
+// GoodClosure: a literal with no captures is a static func value.
+//
+//lint:hotpath
+func GoodClosure() func() int {
+	return func() int { return 42 }
+}
+
+// GoodStructValue: a value composite literal stays on the stack.
+//
+//lint:hotpath
+func GoodStructValue(x, y int) int {
+	p := point{x, y}
+	return p.x + p.y
+}
+
+// GoodSync: the sync mutex/WaitGroup primitives are trusted even though
+// the sync package as a whole is not.
+//
+//lint:hotpath
+func GoodSync(mu *sync.Mutex, wg *sync.WaitGroup, p *int64) {
+	mu.Lock()
+	*p++
+	mu.Unlock()
+	wg.Add(1)
+	wg.Done()
+	wg.Wait()
+}
+
+// unannotated may allocate freely without findings.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,94 @@
+// Package hotbasic exercises every hotalloc site kind plus the
+// transitive, cold-path, and //lint:allow behaviors.
+package hotbasic
+
+import "errors"
+
+type point struct{ x, y int }
+
+//lint:hotpath
+func BadMake(n int) []int64 {
+	buf := make([]int64, n) // want `allocation on the hot path \(via BadMake\): make allocates`
+	return buf
+}
+
+//lint:hotpath
+func BadNew() *point {
+	return new(point) // want `new allocates`
+}
+
+//lint:hotpath
+func BadAppend(dst []int64, v int64) []int64 {
+	return append(dst, v) // want `append may grow its backing array`
+}
+
+//lint:hotpath
+func BadConcat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//lint:hotpath
+func BadConversion(b []byte) string {
+	return string(b) // want `\[\]byte/\[\]rune -> string conversion allocates`
+}
+
+func sink(v any) int { _ = v; return 0 }
+
+//lint:hotpath
+func BadBox(v int64) int {
+	return sink(v) // want `passing concrete value to interface parameter of hotbasic.sink boxes it`
+}
+
+//lint:hotpath
+func BadClosure(n int) func() int {
+	return func() int { return n } // want `function literal captures n by reference`
+}
+
+//lint:hotpath
+func BadDynamic(f func() int) int {
+	return f() // want `dynamic call \(function value or interface method\) may allocate`
+}
+
+//lint:hotpath
+func BadComposite() []int {
+	return []int{1, 2, 3} // want `slice/map/chan composite literal allocates`
+}
+
+//lint:hotpath
+func BadEscape() *point {
+	return &point{1, 2} // want `escaping composite literal`
+}
+
+//lint:hotpath
+func BadStdlib(msg string) error {
+	return errors.New(msg) // want `call to errors.New, which has no allocation summary`
+}
+
+// Transitive: the root is clean, the allocation lives in a local helper.
+//
+//lint:hotpath
+func Transitive(n int) []int64 {
+	return helper(n)
+}
+
+func helper(n int) []int64 {
+	return make([]int64, n) // want `allocation on the hot path \(via Transitive\): make allocates`
+}
+
+// ColdError: error construction off the success path is excused.
+//
+//lint:hotpath
+func ColdError(src []byte) (int, error) {
+	if len(src) < 4 {
+		return 0, errors.New("short input") // cold path: no finding
+	}
+	return int(src[0]), nil
+}
+
+// Allowed: a justified waiver suppresses the site.
+//
+//lint:hotpath
+func Allowed(dst []byte, b byte) []byte {
+	//lint:allow alloc pooled buffer, growth only on the first fill
+	return append(dst, b)
+}

@@ -1,0 +1,21 @@
+// Package hotcross proves the hot-path contract crosses package
+// boundaries via facts: callees in hotdep are checked through their
+// exported summaries, not re-analyzed.
+package hotcross
+
+import "hotdep"
+
+//lint:hotpath
+func UsesAllocatingDep(n int) []int {
+	return hotdep.Alloc(n) // want `call to hotdep.Alloc, which allocates: hotdep.go:\d+: make allocates`
+}
+
+//lint:hotpath
+func UsesCleanDep(a, b int) int {
+	return hotdep.Clean(a, b)
+}
+
+//lint:hotpath
+func UsesCleanMethod(t *hotdep.Table) int {
+	return t.At(0)
+}

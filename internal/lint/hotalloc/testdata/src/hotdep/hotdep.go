@@ -1,0 +1,21 @@
+// Package hotdep is a dependency whose allocation summaries travel to
+// hotcross as the hotalloc.Summaries package fact.
+package hotdep
+
+// Alloc allocates on its only path.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Clean is allocation-free.
+func Clean(a, b int) int {
+	return a + b
+}
+
+// Table is a method summarized under its receiver type name.
+type Table struct{ rows []int }
+
+// At is allocation-free.
+func (t *Table) At(i int) int {
+	return t.rows[i]
+}

@@ -5,7 +5,7 @@
 // read of a CAS word silently voids guarantees the acceptance tests
 // depend on.
 //
-// The five analyzers, and the PR that introduced each convention:
+// The eight analyzers, and the PR that introduced each convention:
 //
 //	determinism   engine packages (bsp, mr, core, mpx, anf) must not
 //	              range over maps, use math/rand, or read time.Now
@@ -22,20 +22,43 @@
 //	metricname    metric families must be reprod_-prefixed, constant,
 //	              registered exactly once, and covered by
 //	              requiredFamilies (observability surface, PR 6).
+//	hotalloc      //lint:hotpath functions and their transitive callees
+//	              must contain no allocation sites, checked over the
+//	              function CFG with cold error paths excused and
+//	              cross-package verdicts carried by facts (the PR 7
+//	              zero-allocation batch path, made a build-time
+//	              contract in PR 10).
+//	goleak        every go statement needs a provable termination path:
+//	              escapable loops, a close() for ranged channels,
+//	              WaitGroup Add/Done matched on all CFG paths (the
+//	              PR 5/8 goroutine discipline, PR 10).
+//	lockorder     per-package mutex-acquisition edges are exported as
+//	              facts and the union — the repo-wide lock graph — must
+//	              be acyclic; any cycle is a potential deadlock (PR 10).
+//
+// The last three ride internal/lint/cfg, a lightweight intra-procedural
+// CFG/dataflow layer over go/ast (branch, loop, defer, and panic edges;
+// reachability and all-paths-hit queries).
 //
 // Violations that are deliberate carry a //lint:allow annotation (see
 // internal/lint/allow for the grammar); the annotation forces the
-// justification to live next to the exception.
+// justification to live next to the exception, and the justification is
+// mandatory. Suppressions are themselves audited: after the full suite
+// runs, any //lint:allow whose check never fired on its line is reported
+// as stale (internal/lint/allow.Audit), so waived exceptions cannot
+// outlive the code that needed them.
 //
 // The suite runs as a standard vettool:
 //
 //	go build -o bin/reprolint ./cmd/reprolint
 //	go vet -vettool=bin/reprolint ./...
 //
-// or directly via "bin/reprolint ./...", which re-execs go vet. The
-// framework underneath (internal/lint/analysis, .../unitchecker,
-// .../analysistest) is a stdlib-only re-implementation of the x/tools
-// go/analysis core, because this repository vendors nothing.
+// or directly via "bin/reprolint ./...", which re-execs go vet and maps
+// the outcome onto diagnosable exit codes: 0 clean, 2 findings, 1
+// internal analyzer error. The framework underneath
+// (internal/lint/analysis, .../unitchecker, .../analysistest) is a
+// stdlib-only re-implementation of the x/tools go/analysis core, because
+// this repository vendors nothing.
 package lint
 
 import (
@@ -43,7 +66,10 @@ import (
 	"repro/internal/lint/atomicfield"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/determinism"
+	"repro/internal/lint/goleak"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/lockedsuffix"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/metricname"
 )
 
@@ -53,7 +79,26 @@ func Analyzers() []*analysis.Analyzer {
 		atomicfield.Analyzer,
 		ctxflow.Analyzer,
 		determinism.Analyzer,
+		goleak.Analyzer,
+		hotalloc.Analyzer,
 		lockedsuffix.Analyzer,
+		lockorder.Analyzer,
 		metricname.Analyzer,
+	}
+}
+
+// KnownChecks lists every //lint:allow check name the suite consumes;
+// the allow.Audit stale-suppression sweep keys off it.
+func KnownChecks() map[string]bool {
+	return map[string]bool{
+		"walltime":    true, // determinism
+		"mapiter":     true, // determinism
+		"rand":        true, // determinism
+		"plainatomic": true, // atomicfield
+		"locked":      true, // lockedsuffix
+		"background":  true, // ctxflow
+		"alloc":       true, // hotalloc
+		"goroutine":   true, // goleak
+		"lockorder":   true, // lockorder
 	}
 }

@@ -1,0 +1,15 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockorder.Analyzer,
+		"lockbasic", // AB/BA inversion, re-acquire, release semantics; clean.go is silent
+		"lockcross", // cycle closed across packages via the Edges fact
+	)
+}

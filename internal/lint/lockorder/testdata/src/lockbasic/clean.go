@@ -1,0 +1,39 @@
+package lockbasic
+
+import "sync"
+
+// registry always takes parent before child: a consistent order is a DAG
+// and produces no findings.
+type registry struct {
+	parentMu sync.RWMutex
+	childMu  sync.Mutex
+}
+
+func (r *registry) readThenWrite() {
+	r.parentMu.RLock()
+	r.childMu.Lock()
+	r.childMu.Unlock()
+	r.parentMu.RUnlock()
+}
+
+func (r *registry) deferStyle() {
+	r.parentMu.Lock()
+	defer r.parentMu.Unlock()
+	r.childMu.Lock()
+	defer r.childMu.Unlock()
+}
+
+// branchLocal acquires in one branch and releases there; the branch-local
+// acquisition does not leak into the join.
+func (r *registry) branchLocal(cond bool) {
+	if cond {
+		r.parentMu.Lock()
+		r.parentMu.Unlock()
+	}
+	r.childMu.Lock()
+	r.childMu.Unlock()
+	if cond {
+		r.parentMu.Lock()
+		r.parentMu.Unlock()
+	}
+}

@@ -1,0 +1,43 @@
+// Package lockbasic exercises same-package lock-order cycles: an AB/BA
+// inversion, a re-acquire self-deadlock, and release behavior.
+package lockbasic
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	idxMu sync.Mutex
+}
+
+func (s *store) lockBoth() {
+	s.mu.Lock()
+	s.idxMu.Lock() // want `lock-order cycle: acquiring lockbasic.store.idxMu while holding lockbasic.store.mu`
+	s.idxMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *store) lockBothReversed() {
+	s.idxMu.Lock()
+	s.mu.Lock() // want `lock-order cycle: acquiring lockbasic.store.mu while holding lockbasic.store.idxMu`
+	s.mu.Unlock()
+	s.idxMu.Unlock()
+}
+
+func (s *store) reacquire() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	helper()
+	s.mu.Lock() // want `lock-order violation: lockbasic.store.mu acquired while already held; this deadlocks`
+	s.mu.Unlock()
+}
+
+func helper() {}
+
+// released proves an Unlock drops the held set: mu is released before
+// idxMu is taken, so no edge and no cycle from this function.
+func (s *store) released() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.idxMu.Lock()
+	s.idxMu.Unlock()
+}

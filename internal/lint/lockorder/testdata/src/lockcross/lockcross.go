@@ -1,0 +1,15 @@
+// Package lockcross closes a cross-package lock cycle: lockdep.Sync
+// orders cache -> journal; Compact here orders journal -> cache. Neither
+// package deadlocks alone — only the union of the two lock graphs shows
+// it, which is exactly what the Edges fact exists for.
+package lockcross
+
+import "lockdep"
+
+// Compact takes the journal lock, then the cache lock.
+func Compact() {
+	lockdep.JournalMu.Lock()
+	defer lockdep.JournalMu.Unlock()
+	lockdep.CacheMu.Lock() // want `lock-order cycle: acquiring lockdep.CacheMu while holding lockdep.JournalMu, but the reverse order exists \(lockdep.CacheMu -> lockdep.JournalMu\); potential deadlock`
+	defer lockdep.CacheMu.Unlock()
+}

@@ -18,7 +18,18 @@
 //     report nothing.
 //
 // Diagnostics are printed to stderr as file:line:col: message and the
-// process exits 2, which go vet relays as a vet failure for the package.
+// process exits 2, which go vet relays as a vet failure for the package;
+// internal errors (unreadable cfg, broken facts, analyzer crashes) exit 1
+// so CI failures are diagnosable by code.
+//
+// When the full suite runs (no explicit analyzer selection) and the host
+// command has installed AuditChecks, the stale-suppression audit
+// (internal/lint/allow.Audit) runs after the analyzers: every
+// //lint:allow annotation must name a known check, carry a
+// justification, and have actually been consumed by some analyzer this
+// invocation — the audit findings are ordinary diagnostics. A partial
+// run (reprolint -determinism ./...) skips the audit, since most
+// annotations' analyzers never executed.
 package unitchecker
 
 import (
@@ -36,8 +47,15 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/lint/allow"
 	"repro/internal/lint/analysis"
 )
+
+// AuditChecks, when set by the host command, enables the
+// stale-suppression audit on full-suite runs; it maps every //lint:allow
+// check name the suite can consume to true. cmd/reprolint installs
+// lint.KnownChecks().
+var AuditChecks map[string]bool
 
 // Config mirrors the JSON structure of the vet.cfg files cmd/go writes
 // (cmd/go/internal/work.vetConfig). Unused fields are omitted.
@@ -121,10 +139,11 @@ func Main(analyzers ...*analysis.Analyzer) {
 		fmt.Fprintf(os.Stderr, "reprolint: expected a single vet.cfg argument; run via 'go vet -vettool=$(command -v reprolint) ./...' or 'reprolint ./...'\n")
 		os.Exit(1)
 	}
-	os.Exit(run(args[0], selected))
+	audit := AuditChecks != nil && len(selected) == len(analyzers)
+	os.Exit(run(args[0], selected, audit))
 }
 
-func run(cfgPath string, analyzers []*analysis.Analyzer) int {
+func run(cfgPath string, analyzers []*analysis.Analyzer, audit bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reprolint: %v\n", err)
@@ -235,7 +254,14 @@ func run(cfgPath string, analyzers []*analysis.Analyzer) int {
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
 	}
-	if len(diags) > 0 {
+	findings := len(diags)
+	if audit {
+		for _, f := range allow.Audit(fset, files, AuditChecks) {
+			fmt.Fprintf(os.Stderr, "%s:%d: %s\n", f.File, f.Line, f.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
 		return 2
 	}
 	return 0

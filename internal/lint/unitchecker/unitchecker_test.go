@@ -1,0 +1,150 @@
+package unitchecker
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/allow"
+	"repro/internal/lint/analysis"
+)
+
+// writeUnit materializes a one-file, import-free package plus the vet.cfg
+// describing it, exactly as cmd/go would, and returns the cfg path.
+func writeUnit(t *testing.T, src string, mutate func(*Config)) string {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		ID:         "p",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "p",
+		GoFiles:    []string{goFile},
+		ModulePath: "repro",
+		ImportMap:  map[string]string{},
+		VetxOutput: filepath.Join(dir, "p.vetx"),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	blob, err := json.Marshal(&cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, blob, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+var (
+	cleanAnalyzer = &analysis.Analyzer{
+		Name: "fakeclean",
+		Doc:  "reports nothing",
+		Run:  func(*analysis.Pass) (any, error) { return nil, nil },
+	}
+	findingAnalyzer = &analysis.Analyzer{
+		Name: "fakefind",
+		Doc:  "reports one finding per file",
+		Run: func(pass *analysis.Pass) (any, error) {
+			for _, f := range pass.Files {
+				pass.Reportf(f.Pos(), "synthetic finding")
+			}
+			return nil, nil
+		},
+	}
+	crashingAnalyzer = &analysis.Analyzer{
+		Name: "fakecrash",
+		Doc:  "always errors",
+		Run: func(*analysis.Pass) (any, error) {
+			return nil, errors.New("synthetic internal error")
+		},
+	}
+)
+
+const cleanSrc = "package p\n\nfunc F() int { return 1 }\n"
+
+func TestRunCleanExitsZero(t *testing.T) {
+	cfgPath := writeUnit(t, cleanSrc, nil)
+	if code := run(cfgPath, []*analysis.Analyzer{cleanAnalyzer}, false); code != 0 {
+		t.Fatalf("clean unit: run = %d, want 0", code)
+	}
+}
+
+func TestRunFindingsExitTwo(t *testing.T) {
+	cfgPath := writeUnit(t, cleanSrc, nil)
+	if code := run(cfgPath, []*analysis.Analyzer{findingAnalyzer}, false); code != 2 {
+		t.Fatalf("unit with findings: run = %d, want 2", code)
+	}
+}
+
+func TestRunInternalErrorExitOne(t *testing.T) {
+	cfgPath := writeUnit(t, cleanSrc, nil)
+	if code := run(cfgPath, []*analysis.Analyzer{crashingAnalyzer}, false); code != 1 {
+		t.Fatalf("crashing analyzer: run = %d, want 1", code)
+	}
+	// An internal error must dominate findings: the findings list of a
+	// crashed run is not trustworthy.
+	both := []*analysis.Analyzer{findingAnalyzer, crashingAnalyzer}
+	cfgPath = writeUnit(t, cleanSrc, nil)
+	if code := run(cfgPath, both, false); code != 1 {
+		t.Fatalf("findings + crash: run = %d, want 1", code)
+	}
+}
+
+func TestRunVetxOnlySuppressesFindings(t *testing.T) {
+	cfgPath := writeUnit(t, cleanSrc, func(cfg *Config) { cfg.VetxOnly = true })
+	if code := run(cfgPath, []*analysis.Analyzer{findingAnalyzer}, false); code != 0 {
+		t.Fatalf("VetxOnly unit: run = %d, want 0 (dependencies report nothing)", code)
+	}
+}
+
+func TestRunUnreadableCfgExitOne(t *testing.T) {
+	if code := run(filepath.Join(t.TempDir(), "missing.cfg"), nil, false); code != 1 {
+		t.Fatal("unreadable vet.cfg must exit 1")
+	}
+}
+
+func TestRunStdlibUnitSkipped(t *testing.T) {
+	cfgPath := writeUnit(t, cleanSrc, func(cfg *Config) { cfg.ModulePath = "" })
+	if code := run(cfgPath, []*analysis.Analyzer{findingAnalyzer}, false); code != 0 {
+		t.Fatalf("out-of-module unit: run = %d, want 0 (skipped)", code)
+	}
+}
+
+func TestRunAuditReportsStaleSuppression(t *testing.T) {
+	allow.ResetConsumptionForTest()
+	saved := AuditChecks
+	AuditChecks = map[string]bool{"rand": true}
+	defer func() { AuditChecks = saved }()
+
+	src := "package p\n\n//lint:allow rand nothing here actually uses rand\nfunc F() int { return 1 }\n"
+	cfgPath := writeUnit(t, src, nil)
+	if code := run(cfgPath, []*analysis.Analyzer{cleanAnalyzer}, true); code != 2 {
+		t.Fatalf("stale //lint:allow under audit: run = %d, want 2", code)
+	}
+	// The same unit without the audit (a partial-suite run) stays clean.
+	allow.ResetConsumptionForTest()
+	cfgPath = writeUnit(t, src, nil)
+	if code := run(cfgPath, []*analysis.Analyzer{cleanAnalyzer}, false); code != 0 {
+		t.Fatalf("partial run must skip the audit: run = %d, want 0", code)
+	}
+}
+
+func TestRunWritesVetx(t *testing.T) {
+	var vetxPath string
+	cfgPath := writeUnit(t, cleanSrc, func(cfg *Config) { vetxPath = cfg.VetxOutput })
+	if code := run(cfgPath, []*analysis.Analyzer{cleanAnalyzer}, false); code != 0 {
+		t.Fatalf("run = %d, want 0", code)
+	}
+	if _, err := os.Stat(vetxPath); err != nil {
+		t.Fatalf("fact file not written: %v", err)
+	}
+}

@@ -180,6 +180,8 @@ func readBodyInto(dst []byte, r io.Reader, max int) ([]byte, error) {
 // decodePairsBinary parses the dense request frame into dst, returning
 // the decoded pairs and the largest id seen. Negative ids and size
 // mismatches are rejected here, before any artifact work.
+//
+//lint:hotpath
 func decodePairsBinary(dst [][2]graph.NodeID, body []byte) ([][2]graph.NodeID, graph.NodeID, error) {
 	if len(body) < 8 || body[0] != pairsMagic[0] || body[1] != pairsMagic[1] ||
 		body[2] != pairsMagic[2] || body[3] != pairsMagic[3] {
@@ -194,6 +196,11 @@ func decodePairsBinary(dst [][2]graph.NodeID, body []byte) ([][2]graph.NodeID, g
 		return dst, 0, badRequest("batch frame length %d does not match %d pairs (want %d)",
 			len(body), count, 8+8*count)
 	}
+	if cap(dst) < count {
+		//lint:allow alloc pool warm-up: the first batch per size class grows the pooled pairs buffer; the steady state reuses it
+		dst = make([][2]graph.NodeID, 0, count)
+	}
+	dst = dst[:count]
 	var maxID, orAcc graph.NodeID
 	payload := body[8:]
 	for i := 0; i < count; i++ {
@@ -206,7 +213,7 @@ func decodePairsBinary(dst [][2]graph.NodeID, body []byte) ([][2]graph.NodeID, g
 		if v > maxID {
 			maxID = v
 		}
-		dst = append(dst, [2]graph.NodeID{u, v})
+		dst[i] = [2]graph.NodeID{u, v}
 	}
 	if orAcc < 0 {
 		return dst, 0, firstNegativePair(dst)
@@ -275,14 +282,20 @@ func checkBatchRange(pairs [][2]graph.NodeID, maxID graph.NodeID, g *graph.Graph
 	return badRequest("node id out of range [0, %d)", n)
 }
 
-// writeBatchBinary answers with the dense response frame, encoding into
-// the pooled buffer and writing once. Unreachable pairs answer -1.
-func writeBatchBinary(w http.ResponseWriter, sc *batchScratch, dists []int64) {
+// encodeDistsFrame encodes the RPD1 response frame ("RPD1" | count u32 |
+// count × i64) into buf, growing it only when the pooled buffer is too
+// small for this size class. Unreachable pairs encode as -1. Split out of
+// writeBatchBinary so the pure encode loop is a provable hot path (the
+// ResponseWriter interface calls stay in the caller).
+//
+//lint:hotpath
+func encodeDistsFrame(buf []byte, dists []int64) []byte {
 	need := 8 + 8*len(dists)
-	if cap(sc.out) < need {
-		sc.out = make([]byte, 0, need)
+	if cap(buf) < need {
+		//lint:allow alloc pool warm-up: the first response per size class grows the pooled buffer; the steady state reuses it
+		buf = make([]byte, 0, need)
 	}
-	out := sc.out[:need]
+	out := buf[:need]
 	copy(out, distsMagic[:])
 	binary.LittleEndian.PutUint32(out[4:8], uint32(len(dists)))
 	for i, d := range dists {
@@ -291,10 +304,16 @@ func writeBatchBinary(w http.ResponseWriter, sc *batchScratch, dists []int64) {
 		}
 		binary.LittleEndian.PutUint64(out[8+8*i:], uint64(d))
 	}
-	sc.out = out
+	return out
+}
+
+// writeBatchBinary answers with the dense response frame, encoding into
+// the pooled buffer and writing once.
+func writeBatchBinary(w http.ResponseWriter, sc *batchScratch, dists []int64) {
+	sc.out = encodeDistsFrame(sc.out, dists)
 	w.Header().Set("Content-Type", ctBatchDists)
-	w.Header().Set("Content-Length", strconv.Itoa(need))
-	w.Write(out)
+	w.Header().Set("Content-Length", strconv.Itoa(len(sc.out)))
+	w.Write(sc.out)
 }
 
 // writeBatchJSON answers {"graph":...,"pairs":N,"distances":[...]},

@@ -358,7 +358,7 @@ func TestDistanceBatchZeroAllocPerPair(t *testing.T) {
 }
 
 // BenchmarkDistanceBatch reports the batch path's pairs/sec and B/pair
-// through the full handler stack (no network), the number BENCH_7.json
+// through the full handler stack (no network), the number BENCH_10.json
 // tracks over HTTP.
 func BenchmarkDistanceBatch(b *testing.B) {
 	g := graph.RoadLike(60, 60, 0.4, 17)
